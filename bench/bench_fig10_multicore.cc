@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fig 10a/b/c: multi-core results.
+ *  (a) geomean speedup vs core count (2/4/8),
+ *  (b) per-mix win rate of Streamline over Triangel on 4-core mixes,
+ *  (c) speedup vs DRAM transfer rate (bandwidth sweep).
+ *
+ * Mix count and trace scale shrink by default (SL_MIX_COUNT /
+ * SL_BENCH_SCALE override; the paper simulates 150 mixes per core count).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace sl;
+
+double
+mixGeomeanSpeedup(const Mix& mix, const RunConfig& variant,
+                  const RunConfig& base)
+{
+    const auto b = runWorkloads(base, mix);
+    const auto v = runWorkloads(variant, mix);
+    std::vector<double> s;
+    for (unsigned c = 0; c < b.cores.size(); ++c)
+        s.push_back(v.cores[c].ipc / b.cores[c].ipc);
+    return geomean(s);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sl::bench;
+    banner("Fig 10a/b/c: multi-core speedups, win rate, bandwidth");
+
+    const double scale = std::min(benchScale(), 0.2);
+    const unsigned mix_count = std::max(2u, defaultMixCount() / 4);
+
+    // ---- Fig 10a: speedup vs core count ----
+    std::printf("\n-- Fig 10a: geomean speedup vs cores (%u mixes each)"
+                " --\n", mix_count);
+    std::vector<std::pair<Mix, double>> four_core_deltas;
+    for (unsigned cores : {2u, 4u, 8u}) {
+        const auto mixes = makeMixes(cores, mix_count);
+        std::vector<double> tg_all, sl_all;
+        for (const auto& mix : mixes) {
+            RunConfig base;
+            base.cores = cores;
+            base.traceScale = scale;
+            RunConfig tg = base;
+            tg.l2 = L2Pf::Triangel;
+            RunConfig sl_cfg = base;
+            sl_cfg.l2 = L2Pf::Streamline;
+            const double tg_s = mixGeomeanSpeedup(mix, tg, base);
+            const double sl_s = mixGeomeanSpeedup(mix, sl_cfg, base);
+            tg_all.push_back(tg_s);
+            sl_all.push_back(sl_s);
+            if (cores == 4)
+                four_core_deltas.emplace_back(mix, sl_s - tg_s);
+        }
+        std::printf("%u cores: triangel %+5.1f%%  streamline %+5.1f%%\n",
+                    cores, 100 * (geomean(tg_all) - 1),
+                    100 * (geomean(sl_all) - 1));
+        std::fflush(stdout);
+    }
+    std::printf("paper: Streamline wins by 7.2/6.9/6.7pp at 2/4/8"
+                " cores\n");
+
+    // ---- Fig 10b: 4-core win rate ----
+    unsigned wins = 0;
+    for (const auto& [mix, delta] : four_core_deltas)
+        wins += delta > 0;
+    std::printf("\n-- Fig 10b: Streamline beats Triangel on %u/%zu 4-core"
+                " mixes (paper: 77%%)\n",
+                wins, four_core_deltas.size());
+
+    // ---- Fig 10c: bandwidth sweep (4-core, first mixes) ----
+    std::printf("\n-- Fig 10c: speedup vs DRAM MT/s (4-core) --\n");
+    const auto mixes = makeMixes(4, 2);
+    for (unsigned mts : {800u, 1600u, 3200u, 6400u}) {
+        std::vector<double> tg_all, sl_all;
+        for (const auto& mix : mixes) {
+            RunConfig base;
+            base.cores = 4;
+            base.traceScale = scale;
+            base.dramMTs = mts;
+            RunConfig tg = base;
+            tg.l2 = L2Pf::Triangel;
+            RunConfig sl_cfg = base;
+            sl_cfg.l2 = L2Pf::Streamline;
+            tg_all.push_back(mixGeomeanSpeedup(mix, tg, base));
+            sl_all.push_back(mixGeomeanSpeedup(mix, sl_cfg, base));
+        }
+        std::printf("%5u MT/s: triangel %+5.1f%%  streamline %+5.1f%%\n",
+                    mts, 100 * (geomean(tg_all) - 1),
+                    100 * (geomean(sl_all) - 1));
+        std::fflush(stdout);
+    }
+    std::printf("paper: Streamline holds a 1.1-3.3pp margin across"
+                " bandwidth levels\n");
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Fig 14: component ablation. Starting from Streamline-unopt (stream
+ * format only) we add each structure, and from the full prefetcher we
+ * remove each: metadata buffer (MB), stream alignment (SA), tagged
+ * set-partitioning (TSP), TP-Mockingjay (TP-MJ).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace sl;
+using namespace sl::bench;
+
+StreamlineConfig
+unopt()
+{
+    StreamlineConfig c;
+    c.enableBuffer = false;
+    c.enableAlignment = false;
+    c.taggedSetPartition = false;
+    c.useTpMockingjay = false;
+    return c;
+}
+
+void
+row(const char* name, const StreamlineConfig& slc, double scale,
+    double tg_speed, double tg_cov)
+{
+    std::vector<double> speeds, covs, accs;
+    for (const auto& w : sweepWorkloads()) {
+        RunConfig cfg;
+        cfg.l2 = L2Pf::Streamline;
+        cfg.streamline = slc;
+        cfg.traceScale = scale;
+        const auto r = runWorkload(cfg, w);
+        speeds.push_back(r.cores[0].ipc /
+                         baseline(w, scale).cores[0].ipc);
+        covs.push_back(r.cores[0].coverage());
+        accs.push_back(r.cores[0].accuracy());
+    }
+    double cov = 0, acc = 0;
+    for (double c : covs)
+        cov += c;
+    for (double a : accs)
+        acc += a;
+    cov /= covs.size();
+    acc /= accs.size();
+    std::printf("%-18s %+7.1f%% %8.1f%% %8.1f%%   (vs triangel:"
+                " %+5.1fpp cov)\n",
+                name, 100 * (geomean(speeds) - 1), 100 * cov, 100 * acc,
+                100 * (cov - tg_cov));
+    (void)tg_speed;
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig 14: ablation of Streamline's components");
+    const double scale = benchScale();
+
+    // Triangel reference for the coverage deltas the paper quotes.
+    double tg_speed = 0, tg_cov = 0;
+    {
+        std::vector<double> speeds, covs;
+        for (const auto& w : sweepWorkloads()) {
+            RunConfig cfg;
+            cfg.l2 = L2Pf::Triangel;
+            cfg.traceScale = scale;
+            const auto r = runWorkload(cfg, w);
+            speeds.push_back(r.cores[0].ipc /
+                             baseline(w, scale).cores[0].ipc);
+            covs.push_back(r.cores[0].coverage());
+        }
+        tg_speed = geomean(speeds);
+        for (double c : covs)
+            tg_cov += c;
+        tg_cov /= covs.size();
+        std::printf("%-18s %+7.1f%% %8.1f%%\n", "triangel (ref)",
+                    100 * (tg_speed - 1), 100 * tg_cov);
+    }
+
+    std::printf("%-18s %8s %9s %9s\n", "config", "speedup", "coverage",
+                "accuracy");
+
+    // Additive series.
+    row("unopt", unopt(), scale, tg_speed, tg_cov);
+    {
+        auto c = unopt();
+        c.enableBuffer = true;
+        row("+ MB", c, scale, tg_speed, tg_cov);
+    }
+    {
+        auto c = unopt();
+        c.enableAlignment = true; // 1-entry internal record only
+        row("+ SA", c, scale, tg_speed, tg_cov);
+    }
+    {
+        auto c = unopt();
+        c.enableBuffer = true;
+        c.enableAlignment = true;
+        row("+ MB, SA", c, scale, tg_speed, tg_cov);
+    }
+    {
+        auto c = unopt();
+        c.taggedSetPartition = true;
+        row("+ TSP", c, scale, tg_speed, tg_cov);
+    }
+    {
+        auto c = unopt();
+        c.useTpMockingjay = true;
+        row("+ TP-MJ", c, scale, tg_speed, tg_cov);
+    }
+    {
+        auto c = unopt();
+        c.taggedSetPartition = true;
+        c.useTpMockingjay = true;
+        row("+ TSP, TP-MJ", c, scale, tg_speed, tg_cov);
+    }
+
+    // Subtractive series from the full design.
+    row("full", StreamlineConfig{}, scale, tg_speed, tg_cov);
+    {
+        StreamlineConfig c;
+        c.enableBuffer = false;
+        row("full - MB", c, scale, tg_speed, tg_cov);
+    }
+    {
+        StreamlineConfig c;
+        c.enableAlignment = false;
+        row("full - SA", c, scale, tg_speed, tg_cov);
+    }
+    {
+        StreamlineConfig c;
+        c.taggedSetPartition = false;
+        row("full - TSP", c, scale, tg_speed, tg_cov);
+    }
+    {
+        StreamlineConfig c;
+        c.useTpMockingjay = false;
+        row("full - TP-MJ", c, scale, tg_speed, tg_cov);
+    }
+
+    std::printf("paper: unopt already beats Triangel's coverage"
+                " (+7.6pp); MB+SA and TSP+TP-MJ are synergistic pairs\n");
+    return 0;
+}

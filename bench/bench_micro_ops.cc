@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot metadata-store operations:
+ * stream-store lookup/insert (TP-Mockingjay and SRRIP), pairwise store
+ * operations, and the hashing primitives. These bound the host-side cost
+ * of simulating the prefetchers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/hash.hh"
+#include "core/stream_store.hh"
+#include "temporal/pairwise_store.hh"
+
+namespace
+{
+
+using namespace sl;
+
+void
+BM_Mix64(benchmark::State& state)
+{
+    std::uint64_t x = 12345;
+    for (auto _ : state) {
+        x = mix64(x);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_Mix64);
+
+void
+BM_StreamStoreLookup(benchmark::State& state)
+{
+    StreamStoreParams p;
+    p.sets = 256;
+    p.sampledSets = 8;
+    p.repl = state.range(0) ? MetaRepl::TpMockingjay : MetaRepl::Srrip;
+    StreamStore store(p);
+    for (Addr t = 0; t < 4096; ++t) {
+        StreamEntry e;
+        e.trigger = t * 7919;
+        e.targets = {t, t + 1, t + 2, t + 3};
+        e.length = 4;
+        store.insert(e, 7);
+    }
+    Addr t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(store.lookup((t++ % 4096) * 7919));
+    }
+}
+BENCHMARK(BM_StreamStoreLookup)->Arg(0)->Arg(1);
+
+void
+BM_StreamStoreInsert(benchmark::State& state)
+{
+    StreamStoreParams p;
+    p.sets = 256;
+    p.sampledSets = 8;
+    StreamStore store(p);
+    Addr t = 0;
+    for (auto _ : state) {
+        StreamEntry e;
+        e.trigger = ++t * 104729;
+        e.targets = {t, t + 1, t + 2, t + 3};
+        e.length = 4;
+        benchmark::DoNotOptimize(store.insert(e, 7));
+    }
+}
+BENCHMARK(BM_StreamStoreInsert);
+
+void
+BM_PairwiseStoreOps(benchmark::State& state)
+{
+    PairwiseStoreParams p;
+    p.sets = 256;
+    PairwiseStore store(p);
+    Addr t = 0;
+    for (auto _ : state) {
+        ++t;
+        store.insert(t * 7919, t);
+        benchmark::DoNotOptimize(store.lookup((t / 2) * 7919));
+    }
+}
+BENCHMARK(BM_PairwiseStoreOps);
+
+} // namespace
+
+BENCHMARK_MAIN();

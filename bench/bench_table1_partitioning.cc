@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table I: partition-scheme property matrix (RUW..FTS).
+ *
+ * For each of the eight R/F x U/T x W/S combinations we measure metadata
+ * hit rate at a small and a big partition (associativity proxy) and the
+ * entry movement caused by repartitioning. Only FTS -- Streamline's
+ * scheme -- earns a check in all three columns.
+ */
+
+#include <cstdio>
+
+#include "core/partition_schemes.hh"
+
+int
+main()
+{
+    using namespace sl;
+    std::printf("== Table I: partitioning schemes ==\n");
+    std::printf("%-8s %14s %14s %14s | %6s %6s %10s\n", "scheme",
+                "hit@small", "hit@big", "move-traffic", "small", "big",
+                "reparting");
+
+    // Thresholds: a scheme "avoids low associativity" when its hit rate
+    // is within 90% of the best observed at that size; it "avoids
+    // expensive repartitioning" when resizes move nothing.
+    std::vector<SchemeMetrics> metrics;
+    double best_small = 0, best_big = 0;
+    for (const auto& s : allPartitionSchemes()) {
+        metrics.push_back(evaluateScheme(s, 128));
+        best_small = std::max(best_small, metrics.back().hitRateSmall);
+        best_big = std::max(best_big, metrics.back().hitRateBig);
+    }
+
+    const auto schemes = allPartitionSchemes();
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const auto& m = metrics[i];
+        const bool ok_small = m.hitRateSmall >= 0.9 * best_small;
+        const bool ok_big = m.hitRateBig >= 0.9 * best_big;
+        const bool ok_resize = m.moveTraffic == 0;
+        std::printf("%-8s %13.1f%% %13.1f%% %14llu | %6s %6s %10s%s\n",
+                    schemes[i].name().c_str(), 100.0 * m.hitRateSmall,
+                    100.0 * m.hitRateBig,
+                    static_cast<unsigned long long>(m.moveTraffic),
+                    ok_small ? "ok" : "LOW", ok_big ? "ok" : "LOW",
+                    ok_resize ? "free" : "COSTLY",
+                    schemes[i].name() == "FTS" ? "   <- Streamline" : "");
+    }
+    std::printf("paper: only FTS avoids low associativity at both sizes"
+                " AND costly repartitioning\n");
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * §V-D3: offline MIN vs TP-MIN replacement over correlation traces
+ * extracted from the workloads, across store capacities. TP-MIN trades
+ * trigger hits for correlation hits -- the utility the prefetch actually
+ * needs (Fig 6).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/tp_min.hh"
+
+int
+main()
+{
+    using namespace sl;
+    using namespace sl::bench;
+    banner("MIN vs TP-MIN offline replacement (Fig 6 / §V-D3)");
+
+    const double scale = benchScale();
+    std::printf("%-20s %8s | %13s %13s | %13s %13s\n", "workload", "cap",
+                "MIN trig", "MIN corr", "TPMIN trig", "TPMIN corr");
+    for (const auto& w : sweepWorkloads()) {
+        const auto trace = correlationsFromTrace(*getTrace(w, scale));
+        for (std::size_t cap : {4096u, 16384u}) {
+            const auto m = simulateMin(trace, cap);
+            const auto p = simulateTpMin(trace, cap);
+            std::printf("%-20s %8zu | %12.1f%% %12.1f%% | %12.1f%%"
+                        " %12.1f%%\n",
+                        w.c_str(), cap,
+                        100.0 * m.triggerHits / m.accesses,
+                        100.0 * m.correlationHits / m.accesses,
+                        100.0 * p.triggerHits / p.accesses,
+                        100.0 * p.correlationHits / p.accesses);
+            std::fflush(stdout);
+        }
+    }
+    std::printf("paper: TP-MIN improves correlation hit rate +9.3pp ->"
+                " accuracy +4pp, speedup +1.9pp\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench prints its parameters (scale, seed, workloads) so runs are
+ * reproducible; SL_BENCH_SCALE and SL_MIX_COUNT override the laptop-scale
+ * defaults.
+ */
+
+#ifndef SL_BENCH_BENCH_UTIL_HH
+#define SL_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "trace/mix.hh"
+
+namespace sl
+{
+namespace bench
+{
+
+/** Trace scale for benches (env SL_BENCH_SCALE, default 0.35). */
+inline double
+benchScale()
+{
+    if (const char* env = std::getenv("SL_BENCH_SCALE"))
+        return std::max(0.02, std::atof(env));
+    return 0.25;
+}
+
+/** The full memory-intensive workload list (all 20). */
+inline std::vector<std::string>
+allWorkloads()
+{
+    return workloadNames();
+}
+
+/**
+ * A representative subset used by the parameter-sweep benches, chosen to
+ * cover pointer chasing, hash walks, sparse algebra, and graph kernels.
+ */
+inline std::vector<std::string>
+sweepWorkloads()
+{
+    return {"spec06_mcf", "spec06_xalancbmk", "spec06_soplex",
+            "gap_bfs", "gap_cc", "gap_tc"};
+}
+
+/** Cached per-workload baseline run (stride L1, no L2 prefetcher). */
+inline const RunResult&
+baseline(const std::string& workload, double scale)
+{
+    static std::map<std::string, RunResult> cache;
+    auto it = cache.find(workload);
+    if (it == cache.end()) {
+        RunConfig cfg;
+        cfg.traceScale = scale;
+        it = cache.emplace(workload, runWorkload(cfg, workload)).first;
+    }
+    return it->second;
+}
+
+/** Geomean speedup of a config over the baseline across workloads. */
+inline double
+geomeanSpeedup(const std::vector<std::string>& workloads,
+               const RunConfig& cfg, double scale)
+{
+    std::vector<double> speedups;
+    for (const auto& w : workloads) {
+        RunConfig c = cfg;
+        c.traceScale = scale;
+        const auto r = runWorkload(c, w);
+        speedups.push_back(r.cores[0].ipc /
+                           baseline(w, scale).cores[0].ipc);
+    }
+    return geomean(speedups);
+}
+
+inline void
+banner(const char* what)
+{
+    std::printf("== %s ==\n", what);
+    std::printf("   scale=%.2f (SL_BENCH_SCALE to override); shapes, not"
+                " absolute numbers, are the reproduction target\n",
+                benchScale());
+}
+
+} // namespace bench
+} // namespace sl
+
+#endif // SL_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Example: explore Streamline's metadata machinery directly through the
+ * public API -- no full-system simulation. Builds a stream store, feeds
+ * it a synthetic loop nest with a scan phase, and prints how filtering,
+ * alignment-style updates, partial-tag aliasing, and TP-Mockingjay's
+ * bypass shape what survives in the store.
+ *
+ * Usage: metadata_explorer [stream_length]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/stream_entry.hh"
+#include "core/stream_store.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sl;
+    const unsigned length = argc > 1
+                                ? static_cast<unsigned>(std::atoi(argv[1]))
+                                : 4;
+
+    StreamStoreParams params;
+    params.sets = 256;
+    params.streamLength = length;
+    params.sampledSets = 8;
+    StreamStore store(params);
+
+    std::printf("stream length %u: %u entries/block, %u correlations"
+                " (pairwise stores %u)\n",
+                length, streamEntriesPerBlock(length),
+                streamCorrelationsPerBlock(length),
+                kPairwiseCorrelationsPerBlock);
+
+    // A repeating loop over 3000 chained blocks plus a one-shot scan.
+    auto feed = [&](Addr base, unsigned blocks, PC pc) {
+        StreamEntry e;
+        e.trigger = base;
+        for (unsigned b = 1; b <= blocks; ++b) {
+            e.targets[e.length++] = base + b;
+            if (e.length == length) {
+                store.sampleCorrelation(e.trigger, e.targets[0], pc);
+                store.insert(e, pc);
+                const Addr next_trigger = e.lastAddress();
+                e = StreamEntry{};
+                e.trigger = next_trigger;
+            }
+        }
+    };
+
+    for (unsigned half : {2u, 1u}) {
+        store.setAllocation(half, 8);
+        std::printf("\nallocation: every %s set (capacity %llu"
+                    " correlations)\n",
+                    half == 2 ? "2nd" : "",
+                    static_cast<unsigned long long>(store.capacity()));
+        for (unsigned round = 0; round < 4; ++round) {
+            feed(0x100000, 3000, 7);          // stable loop
+            feed(0x900000 + round * 0x10000, 1500, 9); // scan noise
+        }
+        const auto& s = store.stats();
+        std::printf("  live entries        %llu (%llu correlations)\n",
+                    static_cast<unsigned long long>(store.size()),
+                    static_cast<unsigned long long>(store.correlations()));
+        std::printf("  filtered inserts    %llu\n",
+                    static_cast<unsigned long long>(
+                        s.get("filtered_inserts")));
+        std::printf("  in-place updates    %llu (stream-alignment"
+                    " rewrites)\n",
+                    static_cast<unsigned long long>(s.get("updates")));
+        std::printf("  tp-mj bypasses      %llu (predicted-dead"
+                    " insertions skipped)\n",
+                    static_cast<unsigned long long>(s.get("bypassed")));
+        std::printf("  alias-constrained   %llu placements\n",
+                    static_cast<unsigned long long>(
+                        s.get("alias_constrained")));
+
+        // Probe coverage of the stable loop's triggers.
+        unsigned found = 0, probes = 0;
+        for (Addr t = 0x100000; t < 0x100000 + 3000; t += length) {
+            ++probes;
+            found += store.lookup(t).has_value();
+        }
+        std::printf("  stable-loop trigger hit rate: %u/%u (%.1f%%)\n",
+                    found, probes, 100.0 * found / probes);
+    }
+    return 0;
+}

@@ -1,0 +1,352 @@
+#include "cache/cache.hh"
+
+#include <cassert>
+
+namespace sl
+{
+
+Cache::Cache(const CacheParams& params, EventQueue& eq, MemLevel* next)
+    : params_(params), eq_(eq), next_(next),
+      numSets_(static_cast<std::uint32_t>(
+          params.sizeBytes / kBlockBytes / params.ways)),
+      blocks_(static_cast<std::size_t>(numSets_) * params.ways),
+      stats_(params.name)
+{
+    assert(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0 &&
+           "cache set count must be a power of two");
+}
+
+Cache::~Cache() = default;
+
+std::uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::uint32_t>(blockNumber(addr)) & (numSets_ - 1);
+}
+
+Cache::Block*
+Cache::findBlock(Addr addr)
+{
+    const Addr tag = blockNumber(addr);
+    Block* row = &blocks_[static_cast<std::size_t>(setIndex(addr)) *
+                          params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (row[w].valid && row[w].tag == tag)
+            return &row[w];
+    }
+    return nullptr;
+}
+
+Cycle
+Cache::reservePort(Cycle now)
+{
+    if (now < portTime_)
+        now = portTime_;
+    if (now > portTime_) {
+        portTime_ = now;
+        portCount_ = 0;
+    }
+    if (++portCount_ >= params_.ports) {
+        portTime_ = now + 1;
+        portCount_ = 0;
+    }
+    return now;
+}
+
+unsigned
+Cache::reservedWays(std::uint32_t set) const
+{
+    if (!partition_)
+        return 0;
+    unsigned r = partition_->reservedWays(set);
+    return r > params_.ways ? params_.ways : r;
+}
+
+void
+Cache::access(MemRequest* req, Cycle now)
+{
+    req->addr = blockAlign(req->addr);
+    handleAt(req, reservePort(now));
+}
+
+void
+Cache::handleAt(MemRequest* req, Cycle start)
+{
+    const bool demand = req->isDemand();
+
+    if (req->kind == ReqKind::Writeback) {
+        // Writebacks allocate here (write-validate); no response needed.
+        ++stats_.counter("writeback_in");
+        if (Block* b = findBlock(req->addr)) {
+            b->dirty = true;
+            b->lru = ++lruTick_;
+        } else {
+            installFill(req->addr, false, false, true, start);
+        }
+        delete req;
+        return;
+    }
+
+    Block* b = findBlock(req->addr);
+
+    // Requests re-presented after an MSHR stall already counted their
+    // stats and trained the listener on first presentation.
+    const bool fresh = !req->retried;
+    if (fresh) {
+        if (demand) {
+            ++stats_.counter("demand_accesses");
+            if (req->kind == ReqKind::DemandStore)
+                ++stats_.counter("demand_stores");
+        } else {
+            ++stats_.counter("prefetch_requests");
+        }
+    }
+
+    if (b) {
+        // ----- hit -----
+        AccessInfo info;
+        info.addr = req->addr;
+        info.pc = req->pc;
+        info.coreId = req->coreId;
+        info.cycle = start;
+        info.hit = true;
+        info.type = req->kind == ReqKind::DemandStore ? AccessType::Store
+                                                      : AccessType::Load;
+        b->lru = ++lruTick_;
+        if (demand) {
+            if (fresh)
+                ++stats_.counter("demand_hits");
+            if (b->prefetched) {
+                b->prefetched = false;
+                if (b->prefetchOriginHere)
+                    ++stats_.counter("prefetch_useful");
+                info.prefetchHit = true;
+            }
+            if (req->kind == ReqKind::DemandStore)
+                b->dirty = true;
+            if (fresh && listener_)
+                listener_->onAccess(info);
+            respond(req, start + params_.latency);
+        } else {
+            // Prefetch for a resident block.
+            if (req->origin == this)
+                ++stats_.counter("prefetch_redundant");
+            if (req->client)
+                respond(req, start + params_.latency);
+            else
+                delete req;
+        }
+        return;
+    }
+
+    // ----- miss -----
+    if (demand && fresh) {
+        ++stats_.counter("demand_misses");
+        AccessInfo info;
+        info.addr = req->addr;
+        info.pc = req->pc;
+        info.coreId = req->coreId;
+        info.cycle = start;
+        info.hit = false;
+        info.type = req->kind == ReqKind::DemandStore ? AccessType::Store
+                                                      : AccessType::Load;
+        if (listener_)
+            listener_->onAccess(info);
+    }
+
+    auto it = mshrs_.find(req->addr);
+    if (it != mshrs_.end()) {
+        // Merge into the outstanding miss.
+        Mshr& m = it->second;
+        if (demand) {
+            if (m.prefetchOnly && !m.demandMerged) {
+                m.demandMerged = true;
+                if (m.prefetchOriginHere)
+                    ++stats_.counter("prefetch_late");
+            }
+            m.waiters.push_back(req);
+        } else if (req->client) {
+            // Upstream-originated prefetch: it still needs a response.
+            m.waiters.push_back(req);
+        } else {
+            if (req->origin == this)
+                ++stats_.counter("prefetch_redundant");
+            delete req;
+        }
+        return;
+    }
+
+    if (mshrs_.size() >= params_.mshrs) {
+        // Structural stall: retry a few cycles later.
+        ++stats_.counter("mshr_retries");
+        MemRequest* r = req;
+        r->retried = true;
+        eq_.schedule(start + 4, [this, r, start] {
+            handleAt(r, reservePort(start + 4));
+        });
+        return;
+    }
+
+    Mshr m;
+    m.addr = req->addr;
+    m.prefetchOnly = !demand;
+    m.prefetchOriginHere = !demand && req->origin == this;
+    if (demand || req->client)
+        m.waiters.push_back(req);
+    mshrs_.emplace(req->addr, std::move(m));
+
+    // Forward downstream after the lookup latency.
+    auto* down = new MemRequest;
+    down->addr = req->addr;
+    down->pc = req->pc;
+    down->coreId = req->coreId;
+    down->kind = demand ? ReqKind::DemandLoad : ReqKind::Prefetch;
+    down->client = this;
+    down->origin = req->origin;
+    if (!demand) {
+        if (req->origin == this)
+            ++stats_.counter("prefetch_issued");
+        if (!req->client)
+            delete req; // locally originated prefetch has no waiter
+    }
+    assert(next_ && "missing downstream level");
+    const Cycle send = start + params_.latency;
+    eq_.schedule(send, [this, down, send] { next_->access(down, send); });
+}
+
+void
+Cache::requestDone(const MemRequest& req, Cycle now)
+{
+    auto it = mshrs_.find(req.addr);
+    assert(it != mshrs_.end() && "fill without MSHR");
+    Mshr m = std::move(it->second);
+    mshrs_.erase(it);
+
+    bool store = false;
+    for (MemRequest* w : m.waiters) {
+        if (w->kind == ReqKind::DemandStore)
+            store = true;
+    }
+
+    const bool mark_prefetched = m.prefetchOnly && !m.demandMerged;
+    installFill(req.addr, mark_prefetched, m.prefetchOriginHere, store,
+                now);
+    if (m.prefetchOnly && m.demandMerged && m.prefetchOriginHere) {
+        // The prefetch fetched data a demand wanted before arrival.
+        ++stats_.counter("prefetch_useful");
+    }
+
+    for (MemRequest* w : m.waiters)
+        respond(w, now);
+}
+
+void
+Cache::installFill(Addr addr, bool prefetched, bool origin_here,
+                   bool store, Cycle now)
+{
+    const std::uint32_t set = setIndex(addr);
+    const unsigned reserved = reservedWays(set);
+    Block* row = &blocks_[static_cast<std::size_t>(set) * params_.ways];
+
+    Block* victim = nullptr;
+    for (unsigned w = reserved; w < params_.ways; ++w) {
+        if (!row[w].valid) {
+            victim = &row[w];
+            break;
+        }
+        if (!victim || row[w].lru < victim->lru)
+            victim = &row[w];
+    }
+    if (!victim) {
+        // Entire set reserved for metadata: the fill bypasses this cache.
+        ++stats_.counter("fill_bypassed");
+        return;
+    }
+
+    if (victim->valid) {
+        ++stats_.counter("evictions");
+        if (victim->dirty && next_) {
+            ++stats_.counter("writebacks");
+            auto* wb = new MemRequest;
+            wb->addr = victim->tag << kBlockShift;
+            wb->kind = ReqKind::Writeback;
+            next_->access(wb, now);
+        }
+    }
+
+    victim->valid = true;
+    victim->dirty = store;
+    victim->prefetched = prefetched;
+    victim->prefetchOriginHere = prefetched && origin_here;
+    victim->tag = blockNumber(addr);
+    victim->lru = ++lruTick_;
+}
+
+void
+Cache::respond(MemRequest* req, Cycle when)
+{
+    if (req->client) {
+        MemRequest* r = req;
+        eq_.schedule(when, [r, when] {
+            r->client->requestDone(*r, when);
+            delete r;
+        });
+    } else {
+        delete req;
+    }
+}
+
+void
+Cache::issuePrefetch(Addr addr, PC pc, int core_id, Cycle now)
+{
+    auto* req = new MemRequest;
+    req->addr = blockAlign(addr);
+    req->pc = pc;
+    req->coreId = core_id;
+    req->kind = ReqKind::Prefetch;
+    req->client = nullptr;
+    req->origin = this;
+    access(req, now);
+}
+
+Cycle
+Cache::metadataAccess(bool write, Cycle now)
+{
+    const Cycle start = reservePort(now);
+    ++stats_.counter(write ? "metadata_writes" : "metadata_reads");
+    return start + params_.latency;
+}
+
+void
+Cache::metadataBulkTraffic(std::uint64_t blocks, Cycle now)
+{
+    stats_.counter("metadata_shuffle_blocks") += blocks;
+    // Bulk movement occupies the cache ports for blocks/ports cycles
+    // (each block is one read plus one write; charge two accesses).
+    const Cycle busy = 2 * blocks / params_.ports;
+    if (portTime_ < now)
+        portTime_ = now;
+    portTime_ += busy;
+}
+
+void
+Cache::reclaimReservedWays(std::uint32_t set, Cycle now)
+{
+    const unsigned reserved = reservedWays(set);
+    Block* row = &blocks_[static_cast<std::size_t>(set) * params_.ways];
+    for (unsigned w = 0; w < reserved; ++w) {
+        if (!row[w].valid)
+            continue;
+        ++stats_.counter("partition_reclaims");
+        if (row[w].dirty && next_) {
+            ++stats_.counter("writebacks");
+            auto* wb = new MemRequest;
+            wb->addr = row[w].tag << kBlockShift;
+            wb->kind = ReqKind::Writeback;
+            next_->access(wb, now);
+        }
+        row[w].valid = false;
+    }
+}
+
+} // namespace sl

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Set-associative, non-blocking cache model.
+ *
+ * Models the properties the paper's evaluation depends on: hit/miss latency,
+ * MSHR occupancy, per-cycle port throughput, writebacks, prefetch fills with
+ * usefulness tracking, and (for the LLC) a metadata partition that steals
+ * capacity from data and serves temporal-prefetcher metadata traffic.
+ */
+
+#ifndef SL_CACHE_CACHE_HH
+#define SL_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cache/request.hh"
+
+namespace sl
+{
+
+/** Anything that can accept a MemRequest (a cache level or DRAM). */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /** Present @p req at cycle @p now. Ownership transfers to the level. */
+    virtual void access(MemRequest* req, Cycle now) = 0;
+};
+
+/** Notification passed to an attached prefetcher on each demand access. */
+struct AccessInfo
+{
+    Addr addr = 0;    //!< block-aligned address
+    PC pc = 0;
+    int coreId = 0;
+    Cycle cycle = 0;
+    AccessType type = AccessType::Load;
+    bool hit = false;
+    /** True when this is the first demand use of a prefetched block. */
+    bool prefetchHit = false;
+};
+
+/** Prefetcher attach point; see prefetch/prefetcher.hh for the base class. */
+class CacheListener
+{
+  public:
+    virtual ~CacheListener() = default;
+    virtual void onAccess(const AccessInfo& info) = 0;
+};
+
+/**
+ * Reserves LLC real estate for prefetcher metadata. The cache asks, per
+ * set, how many of its lowest-numbered ways are off-limits to data.
+ */
+class PartitionPolicy
+{
+  public:
+    virtual ~PartitionPolicy() = default;
+    virtual unsigned reservedWays(std::uint32_t set) const = 0;
+};
+
+/** Static cache geometry and timing. */
+struct CacheParams
+{
+    std::string name;
+    std::size_t sizeBytes = 0;
+    unsigned ways = 8;
+    unsigned latency = 10;   //!< cycles from access to data on a hit
+    unsigned mshrs = 16;
+    unsigned ports = 1;      //!< accesses accepted per cycle
+};
+
+/**
+ * The cache model. Non-blocking with MSHRs; misses forward to the next
+ * level; fills install with LRU replacement (skipping metadata-reserved
+ * ways at the LLC).
+ */
+class Cache : public MemLevel, public RequestClient
+{
+  public:
+    Cache(const CacheParams& params, EventQueue& eq, MemLevel* next);
+    ~Cache() override;
+
+    Cache(const Cache&) = delete;
+    Cache& operator=(const Cache&) = delete;
+
+    // MemLevel
+    void access(MemRequest* req, Cycle now) override;
+
+    // RequestClient (responses from the next level)
+    void requestDone(const MemRequest& req, Cycle now) override;
+
+    /** Attach a prefetcher; it is notified of demand accesses. */
+    void setListener(CacheListener* l) { listener_ = l; }
+
+    /** Install a metadata partition policy (LLC only). */
+    void setPartition(const PartitionPolicy* p) { partition_ = p; }
+
+    /**
+     * Issue a prefetch into this cache for @p addr. Dropped when already
+     * resident or in flight. @p now may be in the future (scheduled).
+     */
+    void issuePrefetch(Addr addr, PC pc, int core_id, Cycle now);
+
+    /**
+     * Account one metadata access (LLC partition read/write): consumes a
+     * port slot and traffic counters; returns the data-ready cycle.
+     * Metadata residency is tracked by the prefetcher's own structures.
+     */
+    Cycle metadataAccess(bool write, Cycle now);
+
+    /**
+     * Account @p blocks worth of bulk metadata movement (Triangel's
+     * repartition shuffle): consumes ports and counts traffic.
+     */
+    void metadataBulkTraffic(std::uint64_t blocks, Cycle now);
+
+    /**
+     * Evict data from the metadata-reserved ways of @p set (called by a
+     * prefetcher after growing its partition). Dirty blocks write back.
+     */
+    void reclaimReservedWays(std::uint32_t set, Cycle now);
+
+    std::uint32_t numSets() const { return numSets_; }
+    unsigned ways() const { return params_.ways; }
+    unsigned latency() const { return params_.latency; }
+    const std::string& name() const { return params_.name; }
+
+    StatGroup& stats() { return stats_; }
+    const StatGroup& stats() const { return stats_; }
+
+    /** True when no MSHR is outstanding (used for drain checks in tests). */
+    bool idle() const { return mshrs_.empty(); }
+
+  private:
+    struct Block
+    {
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;       //!< filled by a prefetch, unused yet
+        bool prefetchOriginHere = false; //!< that prefetch originated here
+        Addr tag = 0;
+        std::uint64_t lru = 0;
+    };
+
+    struct Mshr
+    {
+        Addr addr = 0;
+        bool demandMerged = false;
+        bool prefetchOnly = true;
+        bool prefetchOriginHere = false;
+        std::vector<MemRequest*> waiters;
+    };
+
+    std::uint32_t setIndex(Addr addr) const;
+    Block* findBlock(Addr addr);
+    Cycle reservePort(Cycle now);
+    void handleAt(MemRequest* req, Cycle start);
+    void installFill(Addr addr, bool prefetched, bool origin_here,
+                     bool store, Cycle now);
+    void respond(MemRequest* req, Cycle when);
+    unsigned reservedWays(std::uint32_t set) const;
+
+    CacheParams params_;
+    EventQueue& eq_;
+    MemLevel* next_;
+    CacheListener* listener_ = nullptr;
+    const PartitionPolicy* partition_ = nullptr;
+
+    std::uint32_t numSets_;
+    std::vector<Block> blocks_; //!< numSets_ * ways, row-major
+    std::uint64_t lruTick_ = 0;
+
+    std::unordered_map<Addr, Mshr> mshrs_; //!< keyed by block address
+
+    Cycle portTime_ = 0;
+    unsigned portCount_ = 0;
+
+    StatGroup stats_;
+};
+
+} // namespace sl
+
+#endif // SL_CACHE_CACHE_HH

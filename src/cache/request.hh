@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Memory request plumbing between cores, caches, prefetchers, and DRAM.
+ */
+
+#ifndef SL_CACHE_REQUEST_HH
+#define SL_CACHE_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace sl
+{
+
+struct MemRequest;
+
+/** Receives completion callbacks for requests it issued. */
+class RequestClient
+{
+  public:
+    virtual ~RequestClient() = default;
+
+    /** The request's data is available at cycle @p now. */
+    virtual void requestDone(const MemRequest& req, Cycle now) = 0;
+};
+
+/** What a request is for; drives stats and install policy. */
+enum class ReqKind : std::uint8_t
+{
+    DemandLoad,   //!< core load
+    DemandStore,  //!< core store (write-allocate)
+    Prefetch,     //!< prefetcher fill request
+    Writeback,    //!< dirty eviction flowing downward
+    MetadataRead, //!< temporal-prefetcher metadata read (LLC only)
+    MetadataWrite //!< temporal-prefetcher metadata write (LLC only)
+};
+
+/**
+ * One in-flight memory request. Requests are heap-allocated by the issuer
+ * and owned by the hierarchy until completion (responded or dropped).
+ */
+struct MemRequest
+{
+    Addr addr = 0;          //!< block-aligned address
+    PC pc = 0;
+    int coreId = 0;
+    ReqKind kind = ReqKind::DemandLoad;
+    RequestClient* client = nullptr; //!< completion target (may be null)
+    std::uint64_t tag = 0;           //!< client-private identifier
+    bool retried = false;            //!< re-presented after an MSHR stall
+    /** Cache level that originated a prefetch (for usefulness stats:
+     *  only the originating level counts issued/useful/redundant). */
+    const void* origin = nullptr;
+
+    bool
+    isDemand() const
+    {
+        return kind == ReqKind::DemandLoad || kind == ReqKind::DemandStore;
+    }
+
+    bool
+    isMetadata() const
+    {
+        return kind == ReqKind::MetadataRead ||
+               kind == ReqKind::MetadataWrite;
+    }
+};
+
+} // namespace sl
+
+#endif // SL_CACHE_REQUEST_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Discrete-event queue driving the memory hierarchy.
+ *
+ * Components schedule callbacks at absolute cycles; the system loop
+ * interleaves event execution with per-cycle core stepping and fast-forwards
+ * across idle gaps.
+ */
+
+#ifndef SL_COMMON_EVENT_HH
+#define SL_COMMON_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "types.hh"
+
+namespace sl
+{
+
+/** Sentinel for "no event scheduled". */
+constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Min-heap of (cycle, callback) pairs with stable FIFO order per cycle. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to run at cycle @p when. */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        heap_.push(Event{when, seq_++, std::move(cb)});
+    }
+
+    bool empty() const { return heap_.empty(); }
+
+    /** Cycle of the earliest pending event, or kNoCycle. */
+    Cycle
+    nextCycle() const
+    {
+        return heap_.empty() ? kNoCycle : heap_.top().when;
+    }
+
+    /** Run every event scheduled at or before @p now. */
+    void
+    runUntil(Cycle now)
+    {
+        while (!heap_.empty() && heap_.top().when <= now) {
+            // Move the callback out before popping so it can reschedule.
+            Callback cb = std::move(const_cast<Event&>(heap_.top()).cb);
+            heap_.pop();
+            cb();
+        }
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event& o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace sl
+
+#endif // SL_COMMON_EVENT_HH

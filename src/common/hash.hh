@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Address and PC hashing used by the prefetcher metadata structures.
+ *
+ * The paper's prefetchers store *hashed* triggers (10 bits in
+ * Triage/Triangel/Streamline) and hashed PCs; the hashes here are the folded
+ * XOR constructions conventional in that literature.
+ */
+
+#ifndef SL_COMMON_HASH_HH
+#define SL_COMMON_HASH_HH
+
+#include <cstdint>
+
+#include "types.hh"
+
+namespace sl
+{
+
+/** Strong 64-bit mix (MurmurHash3 finaliser) for index randomisation. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Fold a 64-bit value down to @p bits by repeated XOR of bit groups. */
+constexpr std::uint64_t
+foldXor(std::uint64_t x, unsigned bits)
+{
+    if (bits == 0 || bits >= 64)
+        return x;
+    std::uint64_t acc = 0;
+    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    while (x != 0) {
+        acc ^= x & mask;
+        x >>= bits;
+    }
+    return acc;
+}
+
+/** The 10-bit hashed trigger tag stored per metadata entry (Fig 7). */
+constexpr std::uint16_t
+hashedTrigger10(Addr block)
+{
+    return static_cast<std::uint16_t>(foldXor(mix64(block), 10));
+}
+
+/** Partial trigger tag of @p bits spilled into the LLC tag store (§V-D5). */
+constexpr std::uint16_t
+partialTriggerTag(Addr block, unsigned bits)
+{
+    return static_cast<std::uint16_t>(foldXor(mix64(block) >> 10, bits));
+}
+
+/** 8-bit address hash used by TP-Mockingjay sampler entries (§IV-E8). */
+constexpr std::uint8_t
+hash8(std::uint64_t v)
+{
+    return static_cast<std::uint8_t>(foldXor(mix64(v), 8));
+}
+
+} // namespace sl
+
+#endif // SL_COMMON_HASH_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fixed-capacity ring buffer used for ROBs, history queues, and the
+ * per-PC stream metadata buffers.
+ */
+
+#ifndef SL_COMMON_RING_BUFFER_HH
+#define SL_COMMON_RING_BUFFER_HH
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace sl
+{
+
+/**
+ * Bounded FIFO over contiguous storage. Indexing is oldest-first:
+ * at(0) is the element that push-ed earliest among those still present.
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t capacity)
+        : storage_(capacity), capacity_(capacity)
+    {
+        assert(capacity > 0);
+    }
+
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Append; caller must ensure the buffer is not full. */
+    void
+    push(T v)
+    {
+        assert(!full());
+        storage_[(head_ + size_) % capacity_] = std::move(v);
+        ++size_;
+    }
+
+    /** Append, silently evicting the oldest element when full. */
+    void
+    pushEvict(T v)
+    {
+        if (full())
+            pop();
+        push(std::move(v));
+    }
+
+    /** Remove and return the oldest element. */
+    T
+    pop()
+    {
+        assert(!empty());
+        T v = std::move(storage_[head_]);
+        head_ = (head_ + 1) % capacity_;
+        --size_;
+        return v;
+    }
+
+    T& front() { assert(!empty()); return storage_[head_]; }
+    const T& front() const { assert(!empty()); return storage_[head_]; }
+
+    T&
+    at(std::size_t i)
+    {
+        assert(i < size_);
+        return storage_[(head_ + i) % capacity_];
+    }
+
+    const T&
+    at(std::size_t i) const
+    {
+        assert(i < size_);
+        return storage_[(head_ + i) % capacity_];
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::vector<T> storage_;
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace sl
+
+#endif // SL_COMMON_RING_BUFFER_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every workload generator and mix selection in this repository is seeded
+ * through this class so that all experiments are bit-reproducible.
+ */
+
+#ifndef SL_COMMON_RNG_HH
+#define SL_COMMON_RNG_HH
+
+#include <cstdint>
+#include <cmath>
+
+namespace sl
+{
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+ * implementation, re-expressed here), seeded via splitmix64.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eedULL) { reseed(seed); }
+
+    /** Re-initialise the state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 to expand the seed into 4 state words.
+        auto next_sm = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            return z ^ (z >> 31);
+        };
+        for (auto& w : state_)
+            w = next_sm();
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t l = static_cast<std::uint64_t>(m);
+        if (l < bound) {
+            std::uint64_t t = -bound % bound;
+            while (l < t) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Approximately Zipf-distributed integer in [0, n) with skew s,
+     * using the inverse-CDF power-law approximation (fast, adequate for
+     * synthetic power-law graph degrees).
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double s)
+    {
+        // Power-law transform: for skew s in (0,1), draw u^(1/(1-s)) so
+        // the mass concentrates near index 0 and thins out polynomially.
+        const double u = uniform();
+        const double v = std::pow(u, 1.0 / (1.0 - s));
+        auto idx = static_cast<std::uint64_t>(static_cast<double>(n) * v);
+        return idx >= n ? n - 1 : idx;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace sl
+
+#endif // SL_COMMON_RNG_HH

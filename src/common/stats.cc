@@ -1,0 +1,19 @@
+#include "stats.hh"
+
+#include <cmath>
+
+namespace sl
+{
+
+double
+geomean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace sl

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Lightweight statistics counters and a named registry.
+ *
+ * Each simulated component owns a StatGroup; the experiment runner walks the
+ * registry to print or diff counters. Counters are plain integers — the
+ * simulator is single-threaded by design.
+ */
+
+#ifndef SL_COMMON_STATS_HH
+#define SL_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sl
+{
+
+/** A single named 64-bit counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter& operator++() { ++value_; return *this; }
+    Counter& operator+=(std::uint64_t v) { value_ += v; return *this; }
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A named group of counters. Components register their counters once at
+ * construction; lookups afterwards are direct pointer dereferences.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register (or fetch) a counter under @p key. */
+    Counter&
+    counter(const std::string& key)
+    {
+        return counters_[key];
+    }
+
+    /** Read a counter; returns 0 if it was never registered. */
+    std::uint64_t
+    get(const std::string& key) const
+    {
+        auto it = counters_.find(key);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    void
+    resetAll()
+    {
+        for (auto& [k, c] : counters_)
+            c.reset();
+    }
+
+    const std::string& name() const { return name_; }
+    const std::map<std::string, Counter>& counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+};
+
+/** Ratio helper that is safe against zero denominators. */
+inline double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0 : static_cast<double>(num) /
+                            static_cast<double>(den);
+}
+
+/** Percentage helper. */
+inline double
+pct(std::uint64_t num, std::uint64_t den)
+{
+    return 100.0 * ratio(num, den);
+}
+
+/** Geometric mean of speedups (the paper's summary statistic). */
+double geomean(const std::vector<double>& xs);
+
+} // namespace sl
+
+#endif // SL_COMMON_STATS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Parametric model of the eight partitioning schemes of Table I.
+ *
+ * Axes: indexing R(earranged)/F(iltered), tag handling U(ntagged)/
+ * T(agged), and partition shape W(ay)/S(et). Only FTS -- Streamline's
+ * scheme -- keeps associativity high at both small and big partitions
+ * *and* avoids repartitioning traffic.
+ */
+
+#ifndef SL_CORE_PARTITION_SCHEMES_HH
+#define SL_CORE_PARTITION_SCHEMES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sl
+{
+
+/** One of the 2x2x2 scheme combinations. */
+struct PartitionScheme
+{
+    bool filtered = false; //!< F vs R
+    bool tagged = false;   //!< T vs U
+    bool setPart = false;  //!< S vs W
+
+    std::string
+    name() const
+    {
+        std::string s;
+        s += filtered ? 'F' : 'R';
+        s += tagged ? 'T' : 'U';
+        s += setPart ? 'S' : 'W';
+        return s;
+    }
+};
+
+/** Measured properties of a scheme under the probe workload. */
+struct SchemeMetrics
+{
+    double hitRateSmall = 0;     //!< metadata hit rate, small partition
+    double hitRateBig = 0;       //!< metadata hit rate, big partition
+    std::uint64_t moveTraffic = 0; //!< entries moved across resizes
+};
+
+/** All eight schemes in Table I order (RUW..FTS). */
+std::vector<PartitionScheme> allPartitionSchemes();
+
+/**
+ * Run the probe: a Zipf-reuse trigger stream against a 16-way LLC model
+ * holding `sets` sets, resized through a small/big/small schedule.
+ */
+SchemeMetrics evaluateScheme(const PartitionScheme& scheme,
+                             std::uint32_t sets = 256,
+                             std::uint64_t seed = 7);
+
+} // namespace sl
+
+#endif // SL_CORE_PARTITION_SCHEMES_HH

@@ -1,0 +1,315 @@
+#include "core/stream_store.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.hh"
+
+namespace sl
+{
+
+StreamStore::StreamStore(const StreamStoreParams& params)
+    : params_(params), epb_(streamEntriesPerBlock(params.streamLength)),
+      ways_(params.ways),
+      slots_(static_cast<std::size_t>(params.sets) * params.ways *
+             streamEntriesPerBlock(params.streamLength)),
+      stats_("stream_store")
+{
+    assert(epb_ > 0);
+    assert(params_.sets >= params_.sampledSets);
+    if (params_.repl == MetaRepl::TpMockingjay)
+        tpmj_ = std::make_unique<TpMockingjay>(params_.sets);
+}
+
+std::uint32_t
+StreamStore::indexOf(Addr trigger) const
+{
+    const std::uint64_t h = mix64(trigger);
+    if (!params_.skewedIndex)
+        return static_cast<std::uint32_t>(h % params_.sets);
+
+    // Skewed indexing (§V-D6): bias triggers toward sets that remain
+    // allocated at small partition sizes. 40% of triggers map onto
+    // multiples of 8, 30% onto multiples of 4, 20% onto multiples of 2,
+    // and 10% anywhere.
+    const unsigned r = static_cast<unsigned>(h % 100);
+    const std::uint64_t h2 = h / 100;
+    unsigned align;
+    if (r < 40)
+        align = 8;
+    else if (r < 70)
+        align = 4;
+    else if (r < 90)
+        align = 2;
+    else
+        align = 1;
+    return static_cast<std::uint32_t>((h2 % (params_.sets / align)) *
+                                      align);
+}
+
+bool
+StreamStore::sampledSet(std::uint32_t set) const
+{
+    return set % (params_.sets / params_.sampledSets) == 0;
+}
+
+bool
+StreamStore::allocated(std::uint32_t set) const
+{
+    if (sampledSet(set))
+        return true;
+    return setDen_ != 0 && set % setDen_ == 0;
+}
+
+std::uint64_t
+StreamStore::setAllocation(unsigned set_den, unsigned ways)
+{
+    setDen_ = set_den;
+    if (ways > 0 && ways <= params_.ways)
+        ways_ = ways;
+
+    // Filtered indexing: entries in now-deallocated sets (or ways) die.
+    std::uint64_t dropped = 0;
+    for (std::uint32_t s = 0; s < params_.sets; ++s) {
+        const bool live_set = allocated(s);
+        for (unsigned w = 0; w < params_.ways; ++w) {
+            const bool live_way = live_set && w < ways_;
+            if (live_way)
+                continue;
+            Slot* arr = slotArray(s, w);
+            for (unsigned i = 0; i < epb_; ++i) {
+                if (arr[i].valid) {
+                    arr[i].valid = false;
+                    --liveEntries_;
+                    ++dropped;
+                }
+            }
+        }
+    }
+    stats_.counter("allocation_drops") += dropped;
+    return dropped;
+}
+
+StreamStore::Slot*
+StreamStore::slotArray(std::uint32_t set, unsigned way)
+{
+    return &slots_[(static_cast<std::size_t>(set) * params_.ways + way) *
+                   epb_];
+}
+
+StreamStore::Slot*
+StreamStore::findTrigger(std::uint32_t set, Addr trigger)
+{
+    for (unsigned w = 0; w < ways_; ++w) {
+        Slot* arr = slotArray(set, w);
+        for (unsigned i = 0; i < epb_; ++i) {
+            if (arr[i].valid && arr[i].entry.trigger == trigger)
+                return &arr[i];
+        }
+    }
+    return nullptr;
+}
+
+void
+StreamStore::ageSet(std::uint32_t set)
+{
+    if (tpmj_ && tpmj_->tickSet(set)) {
+        for (unsigned w = 0; w < ways_; ++w) {
+            Slot* arr = slotArray(set, w);
+            for (unsigned i = 0; i < epb_; ++i) {
+                if (arr[i].valid && arr[i].etr > -TpMockingjay::kMaxEtr)
+                    --arr[i].etr;
+            }
+        }
+    }
+}
+
+std::optional<StreamEntry>
+StreamStore::lookup(Addr trigger)
+{
+    const std::uint32_t set = indexOf(trigger);
+    if (!allocated(set)) {
+        ++stats_.counter("filtered_lookups");
+        ++stats_.counter("misses");
+        return std::nullopt;
+    }
+    ageSet(set);
+    if (Slot* s = findTrigger(set, trigger)) {
+        ++stats_.counter("hits");
+        if (sampledSet(set))
+            ++stats_.counter("sampled_hits");
+        // Promotion: re-predict the remaining lifetime.
+        if (tpmj_)
+            s->etr = static_cast<std::int8_t>(tpmj_->predict(s->pc));
+        s->rrpv = 0;
+        return s->entry;
+    }
+    ++stats_.counter("misses");
+    return std::nullopt;
+}
+
+StreamStore::Slot*
+StreamStore::chooseVictim(std::uint32_t set, Addr trigger,
+                          std::uint16_t ptag)
+{
+    // Partial-tag aliasing constraint (§V-D5): if some way already holds
+    // an entry with this partial tag, the new entry must land in that way
+    // so a metadata access needs only one LLC read.
+    unsigned way_lo = 0, way_hi = ways_;
+    if (params_.tagged) {
+        for (unsigned w = 0; w < ways_; ++w) {
+            Slot* arr = slotArray(set, w);
+            for (unsigned i = 0; i < epb_; ++i) {
+                if (arr[i].valid && arr[i].ptag == ptag) {
+                    way_lo = w;
+                    way_hi = w + 1;
+                    ++stats_.counter("alias_constrained");
+                    goto constrained;
+                }
+            }
+        }
+      constrained:;
+    } else {
+        // Untagged: a second-level hash pins the trigger to one way
+        // (the low-associativity failure mode of Table I).
+        const unsigned w = static_cast<unsigned>(
+            (mix64(trigger) >> 32) % ways_);
+        way_lo = w;
+        way_hi = w + 1;
+    }
+
+    Slot* victim = nullptr;
+    for (unsigned w = way_lo; w < way_hi; ++w) {
+        Slot* arr = slotArray(set, w);
+        for (unsigned i = 0; i < epb_; ++i) {
+            Slot& s = arr[i];
+            if (!s.valid)
+                return &s;
+            if (!victim) {
+                victim = &s;
+                continue;
+            }
+            if (params_.repl == MetaRepl::TpMockingjay) {
+                // Mockingjay victimises the largest |ETR|: far-future
+                // lines AND overdue (negative) lines are both dead;
+                // overdue wins ties.
+                auto score = [](const Slot& x) {
+                    const int a = x.etr < 0 ? -x.etr : x.etr;
+                    return 2 * a + (x.etr < 0 ? 1 : 0);
+                };
+                if (score(s) > score(*victim))
+                    victim = &s;
+            } else {
+                if (s.rrpv > victim->rrpv)
+                    victim = &s;
+            }
+        }
+    }
+    return victim;
+}
+
+InsertOutcome
+StreamStore::insert(const StreamEntry& e, PC pc)
+{
+    const std::uint32_t set = indexOf(e.trigger);
+    if (!allocated(set)) {
+        ++stats_.counter("filtered_inserts");
+        return InsertOutcome::Filtered;
+    }
+    ageSet(set);
+
+    if (Slot* s = findTrigger(set, e.trigger)) {
+        s->entry = e;
+        s->pc = pc;
+        if (tpmj_)
+            s->etr = static_cast<std::int8_t>(tpmj_->predict(pc));
+        s->rrpv = 0;
+        ++stats_.counter("updates");
+        return InsertOutcome::Updated;
+    }
+
+    const std::uint16_t ptag =
+        partialTriggerTag(e.trigger, params_.partialTagBits);
+    Slot* victim = chooseVictim(set, e.trigger, ptag);
+    assert(victim);
+    if (victim->valid && tpmj_) {
+        // Mockingjay bypass: if the incoming entry is predicted to be
+        // reused later than (or as late as) the chosen victim, storing
+        // it can only displace something more valuable.
+        auto score = [](int etr) {
+            const int a = etr < 0 ? -etr : etr;
+            return 2 * a + (etr < 0 ? 1 : 0);
+        };
+        const int victim_score = score(victim->etr);
+        const int incoming_score = score(tpmj_->predict(pc));
+        if (incoming_score >= victim_score) {
+            ++stats_.counter("bypassed");
+            return InsertOutcome::Bypassed;
+        }
+    }
+    if (victim->valid) {
+        ++stats_.counter("evictions");
+        --liveEntries_;
+    }
+    victim->valid = true;
+    victim->entry = e;
+    victim->ptag = ptag;
+    victim->pc = pc;
+    victim->rrpv = 2;
+    victim->etr = tpmj_
+                      ? static_cast<std::int8_t>(tpmj_->predict(pc))
+                      : 0;
+    ++liveEntries_;
+    ++stats_.counter("inserts");
+    return InsertOutcome::Stored;
+}
+
+void
+StreamStore::erase(Addr trigger)
+{
+    const std::uint32_t set = indexOf(trigger);
+    if (!allocated(set))
+        return;
+    if (Slot* s = findTrigger(set, trigger)) {
+        s->valid = false;
+        --liveEntries_;
+    }
+}
+
+void
+StreamStore::sampleCorrelation(Addr trigger, Addr first_target, PC pc)
+{
+    if (tpmj_)
+        tpmj_->sample(indexOf(trigger), trigger, first_target, pc);
+}
+
+std::uint64_t
+StreamStore::correlations() const
+{
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) {
+        if (s.valid)
+            n += s.entry.length;
+    }
+    return n;
+}
+
+std::uint64_t
+StreamStore::capacity() const
+{
+    // |multiples of setDen| + |sampled sets| - |overlap| (both strides are
+    // powers of two, so the overlap stride is just the larger one).
+    const std::uint32_t samp_stride = params_.sets / params_.sampledSets;
+    std::uint64_t alloc;
+    if (setDen_ == 0) {
+        alloc = params_.sampledSets;
+    } else {
+        const std::uint32_t lcm = std::max<std::uint32_t>(setDen_,
+                                                          samp_stride);
+        alloc = params_.sets / setDen_ + params_.sampledSets -
+                params_.sets / lcm;
+    }
+    return alloc * ways_ * epb_ * params_.streamLength;
+}
+
+} // namespace sl

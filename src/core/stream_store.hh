@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Streamline's metadata store: filtered tagged set-partitioning (FTS).
+ *
+ * The store occupies `ways` ways in an allocated subset of LLC sets
+ * (§IV-E3): every set for a 1MB partition, every other set for 0.5MB, and
+ * so on. The index function is *static* (computed for the maximum
+ * partition size); entries whose home set is not currently allocated are
+ * simply filtered out (§IV-C), which removes Triangel's costly
+ * rearrangement. Partial trigger tags live in the LLC tag store, giving
+ * effective 32-way associativity (8 ways x 4 entries); aliasing partial
+ * tags constrain placement (§V-D5). Replacement is TP-Mockingjay or SRRIP.
+ */
+
+#ifndef SL_CORE_STREAM_STORE_HH
+#define SL_CORE_STREAM_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/stream_entry.hh"
+#include "core/tp_mockingjay.hh"
+
+namespace sl
+{
+
+/** Metadata replacement policy selector (Fig 13c / Fig 14 ablations). */
+enum class MetaRepl { Srrip, TpMockingjay };
+
+/** Configuration of the stream metadata store. */
+struct StreamStoreParams
+{
+    std::uint32_t sets = 2048;   //!< virtual LLC sets (max partition)
+    unsigned ways = 8;           //!< metadata ways per allocated set
+    unsigned streamLength = 4;
+    unsigned partialTagBits = 6;
+    /**
+     * Tagged set-partitioning: entries place freely within their set's
+     * metadata ways. When false (the -TSP ablation), a second-level hash
+     * pins each trigger to a single way (associativity = one block).
+     */
+    bool tagged = true;
+    MetaRepl repl = MetaRepl::TpMockingjay;
+    /** Bias the trigger->set map toward always-allocated sets (Fig 15). */
+    bool skewedIndex = false;
+    /** Permanently allocated sampled sets (the paper's 64). */
+    unsigned sampledSets = 64;
+};
+
+/** Outcome of an insert attempt. */
+enum class InsertOutcome
+{
+    Stored,   //!< placed as a new entry
+    Updated,  //!< overwrote an existing entry with the same trigger
+    Filtered, //!< home set not allocated; entry discarded
+    Bypassed  //!< TP-Mockingjay: predicted deader than every victim
+};
+
+/** The FTS stream metadata store. */
+class StreamStore
+{
+  public:
+    explicit StreamStore(const StreamStoreParams& params);
+
+    /** Stream entries per metadata block at this stream length. */
+    unsigned entriesPerBlock() const { return epb_; }
+
+    /**
+     * Home set of @p trigger under the static (max-size) index function.
+     */
+    std::uint32_t indexOf(Addr trigger) const;
+
+    /** Is @p set currently allocated for metadata? */
+    bool allocated(std::uint32_t set) const;
+
+    /** Is @p set one of the permanently allocated sampled sets? */
+    bool sampledSet(std::uint32_t set) const;
+
+    /**
+     * Change the allocation: sets where set % setDen == 0 (plus sampled
+     * sets) hold metadata; setDen == 0 means "sampled sets only". With
+     * filtered indexing nothing moves -- entries in deallocated sets are
+     * dropped, entries elsewhere stay put.
+     * @return entries dropped
+     */
+    std::uint64_t setAllocation(unsigned set_den, unsigned ways);
+
+    unsigned allocationDen() const { return setDen_; }
+    unsigned allocationWays() const { return ways_; }
+
+    /** Look up the entry whose *trigger* is @p trigger. */
+    std::optional<StreamEntry> lookup(Addr trigger);
+
+    /** Insert or update @p e (trained by @p pc, for TP-Mockingjay). */
+    InsertOutcome insert(const StreamEntry& e, PC pc);
+
+    /** Remove the entry with trigger @p trigger, if present. */
+    void erase(Addr trigger);
+
+    /** Feed TP-Mockingjay's sampler with a completed correlation. */
+    void sampleCorrelation(Addr trigger, Addr first_target, PC pc);
+
+    /** Live entries (each holds up to streamLength correlations). */
+    std::uint64_t size() const { return liveEntries_; }
+
+    /** Live correlations currently stored. */
+    std::uint64_t correlations() const;
+
+    /** Correlations the current allocation can hold. */
+    std::uint64_t capacity() const;
+
+    StatGroup& stats() { return stats_; }
+    const StatGroup& stats() const { return stats_; }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        StreamEntry entry;
+        std::uint16_t ptag = 0;
+        std::uint8_t rrpv = 2;  //!< SRRIP state
+        std::int8_t etr = 0;    //!< TP-Mockingjay estimated time remaining
+        PC pc = 0;
+    };
+
+    Slot* slotArray(std::uint32_t set, unsigned way);
+    Slot* findTrigger(std::uint32_t set, Addr trigger);
+    Slot* chooseVictim(std::uint32_t set, Addr trigger, std::uint16_t ptag);
+    void ageSet(std::uint32_t set);
+
+    StreamStoreParams params_;
+    unsigned epb_;
+    unsigned setDen_ = 1; //!< current allocation denominator (0 = off)
+    unsigned ways_;
+    std::vector<Slot> slots_;
+    std::uint64_t liveEntries_ = 0;
+    std::unique_ptr<TpMockingjay> tpmj_;
+    StatGroup stats_;
+};
+
+} // namespace sl
+
+#endif // SL_CORE_STREAM_STORE_HH

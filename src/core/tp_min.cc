@@ -1,0 +1,141 @@
+#include "core/tp_min.hh"
+
+#include <limits>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/hash.hh"
+
+namespace sl
+{
+
+CorrelationTrace
+correlationsFromTrace(const Trace& trace, std::size_t max_events)
+{
+    CorrelationTrace out;
+    out.events.reserve(std::min(max_events, trace.records.size()));
+    std::unordered_map<std::uint32_t, Addr> last_by_pc;
+    for (const auto& r : trace.records) {
+        const Addr block = blockNumber(r.addr);
+        auto [it, fresh] = last_by_pc.try_emplace(r.pc, block);
+        if (!fresh && it->second != block) {
+            out.events.emplace_back(it->second, block);
+            it->second = block;
+            if (out.events.size() >= max_events)
+                break;
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+/**
+ * Generic offline optimal-replacement simulator. `next_use[i]` gives the
+ * next position at which the entry inserted/refreshed at event i would
+ * hit again under the policy's definition of a hit.
+ */
+TpMinResult
+simulateOptimal(const CorrelationTrace& trace,
+                const std::vector<std::size_t>& next_use,
+                std::size_t capacity, bool correlation_hit_gates)
+{
+    TpMinResult res;
+    res.accesses = trace.events.size();
+
+    struct Line
+    {
+        Addr target;
+        std::size_t nextUse;
+    };
+    std::unordered_map<Addr, Line> store; // trigger -> line
+    // Priority structure: next-use position -> trigger (max = victim).
+    std::multimap<std::size_t, Addr> by_next_use;
+
+    auto erase_prio = [&](Addr trig, std::size_t nu) {
+        auto range = by_next_use.equal_range(nu);
+        for (auto it = range.first; it != range.second; ++it) {
+            if (it->second == trig) {
+                by_next_use.erase(it);
+                return;
+            }
+        }
+    };
+
+    for (std::size_t i = 0; i < trace.events.size(); ++i) {
+        const auto& [trig, tgt] = trace.events[i];
+        auto it = store.find(trig);
+        if (it != store.end()) {
+            ++res.triggerHits;
+            if (it->second.target == tgt)
+                ++res.correlationHits;
+            const bool useful_hit =
+                !correlation_hit_gates || it->second.target == tgt;
+            (void)useful_hit;
+            // Refresh: the entry now predicts tgt and its next use moves.
+            erase_prio(trig, it->second.nextUse);
+            it->second.target = tgt;
+            it->second.nextUse = next_use[i];
+            by_next_use.emplace(it->second.nextUse, trig);
+            continue;
+        }
+
+        // Miss: insert, evicting the furthest-future entry if full.
+        // Belady bypass: when the incoming entry's next use is even
+        // further than every resident's, inserting it can only hurt.
+        if (capacity == 0)
+            continue;
+        if (store.size() >= capacity) {
+            auto victim = std::prev(by_next_use.end());
+            if (victim->first <= next_use[i])
+                continue; // bypass
+            store.erase(victim->second);
+            by_next_use.erase(victim);
+        }
+        store.emplace(trig, Line{tgt, next_use[i]});
+        by_next_use.emplace(next_use[i], trig);
+    }
+    return res;
+}
+
+} // namespace
+
+TpMinResult
+simulateMin(const CorrelationTrace& trace, std::size_t capacity)
+{
+    // next use = next occurrence of the same *trigger*.
+    const std::size_t n = trace.events.size();
+    std::vector<std::size_t> next_use(n, kNever);
+    std::unordered_map<Addr, std::size_t> last_pos;
+    for (std::size_t i = n; i-- > 0;) {
+        const Addr trig = trace.events[i].first;
+        auto it = last_pos.find(trig);
+        next_use[i] = it == last_pos.end() ? kNever : it->second;
+        last_pos[trig] = i;
+    }
+    return simulateOptimal(trace, next_use, capacity, false);
+}
+
+TpMinResult
+simulateTpMin(const CorrelationTrace& trace, std::size_t capacity)
+{
+    // next use = next occurrence of the same *correlation* (trigger AND
+    // target): entries whose target has gone stale rank as never-used.
+    const std::size_t n = trace.events.size();
+    std::vector<std::size_t> next_use(n, kNever);
+    std::unordered_map<std::uint64_t, std::size_t> last_pos;
+    for (std::size_t i = n; i-- > 0;) {
+        const auto& [trig, tgt] = trace.events[i];
+        const std::uint64_t key = mix64(trig) ^ (mix64(tgt) >> 1);
+        auto it = last_pos.find(key);
+        next_use[i] = it == last_pos.end() ? kNever : it->second;
+        last_pos[key] = i;
+    }
+    return simulateOptimal(trace, next_use, capacity, true);
+}
+
+} // namespace sl

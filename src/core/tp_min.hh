@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Offline MIN vs TP-MIN replacement analysis (§IV-D1, Fig 6, §V-D3).
+ *
+ * Belady's MIN applied to temporal metadata maximises *trigger* hits:
+ * evict the entry whose trigger is re-accessed furthest in the future.
+ * TP-MIN instead maximises *correlation* hits: evict the entry whose
+ * exact (trigger -> target) pair recurs furthest in the future, because a
+ * trigger hit with a stale target only issues useless prefetches.
+ */
+
+#ifndef SL_CORE_TP_MIN_HH
+#define SL_CORE_TP_MIN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace sl
+{
+
+/** A time-ordered stream of observed correlations. */
+struct CorrelationTrace
+{
+    std::vector<std::pair<Addr, Addr>> events; //!< (trigger, target)
+};
+
+/** Offline replacement outcome. */
+struct TpMinResult
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t triggerHits = 0;     //!< trigger present at access
+    std::uint64_t correlationHits = 0; //!< trigger present AND target match
+};
+
+/**
+ * Extract the pairwise correlation stream from a workload trace (per-PC
+ * last-address training, as the temporal prefetchers see it).
+ */
+CorrelationTrace correlationsFromTrace(const Trace& trace,
+                                       std::size_t max_events = 400'000);
+
+/** Simulate Belady's MIN over @p trace with @p capacity entries. */
+TpMinResult simulateMin(const CorrelationTrace& trace,
+                        std::size_t capacity);
+
+/** Simulate TP-MIN over @p trace with @p capacity entries. */
+TpMinResult simulateTpMin(const CorrelationTrace& trace,
+                          std::size_t capacity);
+
+} // namespace sl
+
+#endif // SL_CORE_TP_MIN_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * TP-Mockingjay: Streamline's metadata replacement policy (§IV-E5).
+ *
+ * Mockingjay [45] mimics Belady's MIN by predicting per-PC reuse distances
+ * from sampled sets and evicting the line with the largest estimated time
+ * remaining (ETR). TP-Mockingjay learns from TP-MIN instead (§IV-D1): the
+ * sampler stores the *correlation* (trigger and first target hashes); a
+ * re-observed trigger whose target changed trains "no reuse", because the
+ * old correlation would only have issued useless prefetches. ETRs are 3
+ * bits (temporal metadata has more consistent reuse than raw data).
+ */
+
+#ifndef SL_CORE_TP_MOCKINGJAY_HH
+#define SL_CORE_TP_MOCKINGJAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sl
+{
+
+/** Reuse-distance-predicting replacement for the stream metadata store. */
+class TpMockingjay
+{
+  public:
+    /**
+     * @param sets metadata sets tracked (per-set aging clocks)
+     * @param sampled_sets how many sets feed the reuse sampler (paper: 8)
+     */
+    TpMockingjay(std::uint32_t sets, unsigned sampled_sets = 8);
+
+    /** 3-bit ETR ceiling. */
+    static constexpr int kMaxEtr = 7;
+
+    /**
+     * Observe a completed correlation (trigger -> first target) by @p pc
+     * in metadata set @p set; trains the reuse-distance predictor when the
+     * set is sampled.
+     */
+    void sample(std::uint32_t set, Addr trigger, Addr target, PC pc);
+
+    /** Predicted ETR for a new/promoted entry trained by @p pc. */
+    int predict(PC pc) const;
+
+    /** Advance @p set's clock; the caller decrements its entries' ETRs
+     *  when this returns true. */
+    bool tickSet(std::uint32_t set);
+
+    StatGroup& stats() { return stats_; }
+
+  private:
+    struct SamplerEntry
+    {
+        bool valid = false;
+        std::uint8_t triggerHash = 0;
+        std::uint8_t targetHash = 0;
+        std::uint8_t pcHash = 0;
+        std::uint8_t timestamp = 0;
+    };
+
+    static constexpr unsigned kSamplerWays = 10;
+    static constexpr unsigned kSamplerSetsPerSampled = 32;
+
+    std::uint32_t sets_;
+    unsigned sampledSets_;
+    /** sampler_[sampled_idx][set][way] flattened. */
+    std::vector<SamplerEntry> sampler_;
+    std::vector<std::uint8_t> samplerClock_;
+    /** Per-PC-hash reuse-distance prediction, 0..7 (7 = no reuse). */
+    std::vector<std::int8_t> rdp_;
+    std::vector<std::uint8_t> setClock_;
+    StatGroup stats_;
+};
+
+} // namespace sl
+
+#endif // SL_CORE_TP_MOCKINGJAY_HH

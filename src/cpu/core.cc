@@ -1,0 +1,188 @@
+#include "cpu/core.hh"
+
+#include <cassert>
+
+namespace sl
+{
+
+Core::Core(int id, const CoreParams& params, EventQueue& eq, Cache* l1d,
+           TracePtr trace)
+    : id_(id), params_(params), eq_(eq), l1d_(l1d),
+      trace_(std::move(trace)), rob_(params.robSize),
+      stats_("core" + std::to_string(id))
+{
+    assert(!trace_->records.empty());
+}
+
+bool
+Core::step(Cycle now)
+{
+    bool progress = false;
+
+    // ----- retire (in order, up to width instructions) -----
+    unsigned retired = 0;
+    while (robCount_ > 0 && retired < params_.width) {
+        RobEntry& head = rob_[robHead_];
+        if (head.doneAt == kNoCycle || head.doneAt > now)
+            break;
+        retired += head.weight;
+        instrRetired_ += head.weight;
+        if (head.endsRecord)
+            onRecordRetired(now);
+        robHead_ = (robHead_ + 1) % rob_.size();
+        --robCount_;
+        progress = true;
+    }
+
+    // ----- dispatch (up to width instructions) -----
+    progress |= tryDispatch(now);
+    return progress;
+}
+
+bool
+Core::tryDispatch(Cycle now)
+{
+    unsigned dispatched = 0;
+    bool progress = false;
+
+    while (dispatched < params_.width && robCount_ < rob_.size()) {
+        const TraceRecord& rec =
+            trace_->records[recordIdx_ % trace_->records.size()];
+
+        if (!bubblesPrimed_) {
+            bubblesLeft_ = rec.bubbles;
+            bubblesPrimed_ = true;
+        }
+
+        const std::size_t slot = (robHead_ + robCount_) % rob_.size();
+        RobEntry& e = rob_[slot];
+
+        if (bubblesLeft_ > 0) {
+            // Fold as many bubbles as the remaining width allows into one
+            // weighted ALU entry.
+            const unsigned take = std::min<unsigned>(
+                bubblesLeft_, params_.width - dispatched);
+            e = RobEntry{};
+            e.weight = take;
+            e.doneAt = now + 1;
+            bubblesLeft_ -= take;
+            dispatched += take;
+            ++robCount_;
+            progress = true;
+            continue;
+        }
+
+        // The memory operation itself.
+        if (rec.type == AccessType::Load && rec.dependsOnPrev() &&
+            lastLoadSlot_ != SIZE_MAX) {
+            // Address depends on the previous load; wait for it.
+            const RobEntry& dep = rob_[lastLoadSlot_];
+            if (dep.slotGen == lastLoadGen_ &&
+                (dep.doneAt == kNoCycle || dep.doneAt > now)) {
+                break;
+            }
+        }
+
+        e = RobEntry{};
+        e.weight = 1;
+        e.isMem = true;
+        e.endsRecord = true;
+        e.slotGen = ++slotGen_;
+
+        auto* req = new MemRequest;
+        req->addr = rec.addr + addrOffset();
+        req->pc = rec.pc;
+        req->coreId = id_;
+        req->client = nullptr;
+
+        if (rec.type == AccessType::Load) {
+            req->kind = ReqKind::DemandLoad;
+            req->client = this;
+            req->tag = (static_cast<std::uint64_t>(slot) << 32) | e.slotGen;
+            e.doneAt = kNoCycle;
+            lastLoadSlot_ = slot;
+            lastLoadGen_ = e.slotGen;
+            ++stats_.counter("loads");
+        } else {
+            // Stores retire through the store buffer; the write still
+            // traverses the hierarchy for traffic/fill effects.
+            req->kind = ReqKind::DemandStore;
+            e.doneAt = now + 1;
+            ++stats_.counter("stores");
+        }
+        l1d_->access(req, now);
+
+        ++robCount_;
+        ++dispatched;
+        ++recordIdx_;
+        bubblesPrimed_ = false;
+        progress = true;
+    }
+    return progress;
+}
+
+void
+Core::requestDone(const MemRequest& req, Cycle now)
+{
+    const auto slot = static_cast<std::size_t>(req.tag >> 32);
+    const std::uint64_t gen = req.tag & 0xffffffffULL;
+    RobEntry& e = rob_[slot];
+    // Responses can only arrive for live loads (retire waits for them).
+    if (e.slotGen == gen && e.isMem && e.doneAt == kNoCycle)
+        e.doneAt = now;
+}
+
+void
+Core::onRecordRetired(Cycle now)
+{
+    ++recordsRetired_;
+    const std::size_t n = trace_->records.size();
+    if (recordsRetired_ == trace_->warmupRecords) {
+        warmupEndCycle_ = now;
+        warmupInstr_ = instrRetired_;
+    }
+    if (recordsRetired_ == n && evalEndCycle_ == kNoCycle) {
+        evalEndCycle_ = now;
+        evalInstr_ = instrRetired_;
+        if (warmupEndCycle_ == kNoCycle) {
+            warmupEndCycle_ = startCycle_;
+            warmupInstr_ = 0;
+        }
+    }
+}
+
+Cycle
+Core::nextWake(Cycle now) const
+{
+    // Only consulted after a step() that made no progress, which implies
+    // dispatch is blocked and the ROB head is incomplete: the next thing
+    // that can happen locally is the head completing at a known cycle.
+    // Loads waiting on memory wake through the event queue instead.
+    (void)now;
+    if (robCount_ == 0)
+        return kNoCycle;
+    return rob_[robHead_].doneAt;
+}
+
+std::uint64_t
+Core::evalInstructions() const
+{
+    return evalInstr_ - warmupInstr_;
+}
+
+std::uint64_t
+Core::evalCycles() const
+{
+    return evalEndCycle_ - warmupEndCycle_;
+}
+
+double
+Core::ipc() const
+{
+    const auto cycles = evalCycles();
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(evalInstructions()) /
+                             static_cast<double>(cycles);
+}
+
+} // namespace sl

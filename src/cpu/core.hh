@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Simplified out-of-order core model (ChampSim-style).
+ *
+ * Models the structures that gate memory-level parallelism: a 352-entry
+ * ROB, 6-wide dispatch/retire, loads issued to the L1D at dispatch, and
+ * in-order retirement. Address-dependent loads (pointer chases) serialise
+ * on the previous load. Non-memory instructions ride along as weighted
+ * "bubble" entries. This is the standard fidelity level for prefetcher
+ * studies: IPC responds to miss latency, MLP, and bandwidth.
+ */
+
+#ifndef SL_CPU_CORE_HH
+#define SL_CPU_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/event.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cache/cache.hh"
+#include "trace/trace.hh"
+
+namespace sl
+{
+
+/** Core width/window configuration (defaults = Table II, Ice Lake-like). */
+struct CoreParams
+{
+    unsigned robSize = 352;
+    unsigned width = 6;
+};
+
+/** Drives one trace through the memory hierarchy. */
+class Core : public RequestClient
+{
+  public:
+    /**
+     * @param id core number (also used to offset the address space in
+     *        multi-core runs)
+     * @param l1d first-level data cache this core issues into
+     * @param trace the workload; replayed from the start if other cores
+     *        are still in their measurement region
+     */
+    Core(int id, const CoreParams& params, EventQueue& eq, Cache* l1d,
+         TracePtr trace);
+
+    Core(const Core&) = delete;
+    Core& operator=(const Core&) = delete;
+
+    /**
+     * Advance one cycle: retire completed work, dispatch new work.
+     * @return true if any instruction retired or dispatched
+     */
+    bool step(Cycle now);
+
+    /** Earliest cycle at which step() can make progress (kNoCycle when
+     *  blocked on a memory response). */
+    Cycle nextWake(Cycle now) const;
+
+    /** True once the first full pass over the trace has retired. */
+    bool done() const { return evalEndCycle_ != kNoCycle; }
+
+    // RequestClient
+    void requestDone(const MemRequest& req, Cycle now) override;
+
+    /** Instructions retired in the measurement (post-warmup) region. */
+    std::uint64_t evalInstructions() const;
+
+    /** Cycles spent in the measurement region (valid once done()). */
+    std::uint64_t evalCycles() const;
+
+    /** Measurement-region IPC (valid once done()). */
+    double ipc() const;
+
+    int id() const { return id_; }
+    StatGroup& stats() { return stats_; }
+
+  private:
+    struct RobEntry
+    {
+        std::uint32_t weight = 1;     //!< instruction count (bubbles fold)
+        bool isMem = false;
+        bool endsRecord = false;
+        Cycle doneAt = kNoCycle;      //!< kNoCycle while a load is in flight
+        std::uint64_t slotGen = 0;    //!< matches in-flight request tags
+    };
+
+    bool tryDispatch(Cycle now);
+    void onRecordRetired(Cycle now);
+
+    /** Per-core address-space offset so multi-core mixes don't share data. */
+    Addr addrOffset() const { return static_cast<Addr>(id_) << 44; }
+
+    int id_;
+    CoreParams params_;
+    EventQueue& eq_;
+    Cache* l1d_;
+    TracePtr trace_;
+
+    // ROB as a ring over fixed slots (slot indices are stable while live,
+    // so in-flight requests can carry their slot as the completion tag).
+    std::vector<RobEntry> rob_;
+    std::size_t robHead_ = 0;
+    std::size_t robCount_ = 0;
+    std::uint64_t slotGen_ = 0;
+
+    // Trace cursor.
+    std::size_t recordIdx_ = 0;
+    unsigned bubblesLeft_ = 0;   //!< bubbles of the current record not yet
+                                 //!< dispatched
+    bool bubblesPrimed_ = false;
+
+    // Pointer-chase serialisation.
+    std::size_t lastLoadSlot_ = SIZE_MAX;
+    std::uint64_t lastLoadGen_ = 0;
+
+    // Progress accounting.
+    std::uint64_t instrRetired_ = 0;
+    std::uint64_t recordsRetired_ = 0;
+    std::uint64_t warmupInstr_ = 0;
+    Cycle warmupEndCycle_ = kNoCycle;
+    std::uint64_t evalInstr_ = 0;
+    Cycle evalEndCycle_ = kNoCycle;
+    Cycle startCycle_ = 0;
+
+    StatGroup stats_;
+};
+
+} // namespace sl
+
+#endif // SL_CPU_CORE_HH

@@ -1,0 +1,99 @@
+#include "dram/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sl
+{
+
+Dram::Dram(const DramParams& params, EventQueue& eq)
+    : params_(params), eq_(eq), stats_("dram")
+{
+    channels_.resize(params_.channels);
+    for (auto& ch : channels_)
+        ch.banks.resize(params_.ranksPerChannel * params_.banksPerRank);
+
+    auto ns_to_cycles = [&](double ns) {
+        return static_cast<Cycle>(std::ceil(ns * params_.coreGHz));
+    };
+    tCas_ = ns_to_cycles(params_.tCasNs);
+    tRcd_ = ns_to_cycles(params_.tRcdNs);
+    tRp_ = ns_to_cycles(params_.tRpNs);
+    controllerCycles_ = ns_to_cycles(params_.controllerNs);
+
+    // One 64B block = kBlockBytes / busBytes beats; each beat takes
+    // 1/(MT/s) seconds.
+    const double beats =
+        static_cast<double>(kBlockBytes) / params_.busBytes;
+    const double seconds = beats / (params_.transferMTs * 1e6);
+    burstCycles_ = std::max<Cycle>(
+        1, static_cast<Cycle>(std::ceil(seconds * params_.coreGHz * 1e9)));
+}
+
+double
+Dram::peakBytesPerCycle() const
+{
+    return static_cast<double>(kBlockBytes) * params_.channels /
+           static_cast<double>(burstCycles_);
+}
+
+void
+Dram::access(MemRequest* req, Cycle now)
+{
+    // Address map: blocks interleave across channels; within a channel,
+    // 8KB rows (128 blocks) interleave across banks, so streams enjoy
+    // row locality while spreading over banks every row.
+    constexpr std::uint64_t kBlocksPerRow = 128;
+    const std::uint64_t block = blockNumber(req->addr);
+    const unsigned ch_idx =
+        static_cast<unsigned>(block % params_.channels);
+    Channel& ch = channels_[ch_idx];
+    const std::uint64_t in_channel = block / params_.channels;
+    const unsigned nbanks =
+        params_.ranksPerChannel * params_.banksPerRank;
+    const unsigned bank_idx =
+        static_cast<unsigned>((in_channel / kBlocksPerRow) % nbanks);
+    Bank& bank = ch.banks[bank_idx];
+    const auto row = static_cast<std::uint32_t>(
+        (in_channel / kBlocksPerRow / nbanks) % params_.rowsPerBank);
+
+    const bool write = req->kind == ReqKind::Writeback;
+    ++stats_.counter(write ? "writes" : "reads");
+
+    // Bank access latency depends on row-buffer state.
+    Cycle bank_start = std::max(now, bank.readyAt);
+    Cycle access_lat;
+    if (bank.rowValid && bank.openRow == row) {
+        access_lat = tCas_;
+        ++stats_.counter("row_hits");
+    } else if (!bank.rowValid) {
+        access_lat = tRcd_ + tCas_;
+        ++stats_.counter("row_misses");
+    } else {
+        access_lat = tRp_ + tRcd_ + tCas_;
+        ++stats_.counter("row_conflicts");
+    }
+    bank.rowValid = true;
+    bank.openRow = row;
+
+    // Data burst waits for the channel bus.
+    const Cycle data_ready = bank_start + access_lat;
+    const Cycle burst_start = std::max(data_ready, ch.busFreeAt);
+    ch.busFreeAt = burst_start + burstCycles_;
+    bank.readyAt = burst_start + burstCycles_;
+
+    stats_.counter("bytes") += kBlockBytes;
+
+    const Cycle done = burst_start + burstCycles_ + controllerCycles_;
+    if (req->client) {
+        MemRequest* r = req;
+        eq_.schedule(done, [r, done] {
+            r->client->requestDone(*r, done);
+            delete r;
+        });
+    } else {
+        delete req;
+    }
+}
+
+} // namespace sl

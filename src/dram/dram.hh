@@ -1,0 +1,88 @@
+/**
+ * @file
+ * DRAM timing model with channels, ranks, banks, and row buffers.
+ *
+ * Parameters follow Table II of the paper: 3200 MT/s, 8B channel width,
+ * tCAS = tRP = tRCD = 12.5ns, 8 banks/rank, and 1/2/2/4 channels with
+ * 1/1/2/2 ranks per channel for 1/2/4/8 cores. Transfer rate is a knob so
+ * the Fig 10c bandwidth sweep can scale it.
+ */
+
+#ifndef SL_DRAM_DRAM_HH
+#define SL_DRAM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/event.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cache/cache.hh"
+
+namespace sl
+{
+
+/** DRAM geometry and timing configuration. */
+struct DramParams
+{
+    unsigned channels = 1;
+    unsigned ranksPerChannel = 1;
+    unsigned banksPerRank = 8;
+    unsigned rowsPerBank = 65536;
+    unsigned transferMTs = 3200;   //!< mega-transfers/s on an 8B bus
+    unsigned busBytes = 8;
+    double coreGHz = 4.0;          //!< CPU clock for ns->cycle conversion
+    double tCasNs = 12.5;
+    double tRcdNs = 12.5;
+    double tRpNs = 12.5;
+    /** Memory-controller queueing + on-chip interconnect to the
+     *  controller and back; added to every access's completion time. */
+    double controllerNs = 30.0;
+};
+
+/**
+ * Bank-aware DRAM model. Each access resolves its channel/rank/bank/row,
+ * pays row-hit / row-miss / row-conflict latency on the bank, then queues
+ * for the channel data bus. Reads respond to the requesting client;
+ * writebacks only consume bank and bus time.
+ */
+class Dram : public MemLevel
+{
+  public:
+    Dram(const DramParams& params, EventQueue& eq);
+
+    void access(MemRequest* req, Cycle now) override;
+
+    StatGroup& stats() { return stats_; }
+    const StatGroup& stats() const { return stats_; }
+
+    /** Total cycles one 64B burst occupies the channel bus. */
+    Cycle burstCycles() const { return burstCycles_; }
+
+    /** Peak bandwidth in bytes per core cycle (for reporting). */
+    double peakBytesPerCycle() const;
+
+  private:
+    struct Bank
+    {
+        Cycle readyAt = 0;
+        std::uint32_t openRow = ~0u;
+        bool rowValid = false;
+    };
+
+    struct Channel
+    {
+        Cycle busFreeAt = 0;
+        std::vector<Bank> banks;
+    };
+
+    DramParams params_;
+    EventQueue& eq_;
+    std::vector<Channel> channels_;
+    Cycle tCas_, tRcd_, tRp_, burstCycles_, controllerCycles_;
+    StatGroup stats_;
+};
+
+} // namespace sl
+
+#endif // SL_DRAM_DRAM_HH

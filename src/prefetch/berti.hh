@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Berti-style local-delta L1D prefetcher (lite).
+ *
+ * Berti [35] learns, per PC, the set of *timely* deltas: deltas between the
+ * current access and earlier accesses by the same PC whose fill would have
+ * completed in time. This lite version keeps a per-PC history of recent
+ * (block, cycle) pairs, scores candidate deltas by how often they recur
+ * with sufficient lead time, and prefetches with the best-scoring deltas.
+ */
+
+#ifndef SL_PREFETCH_BERTI_HH
+#define SL_PREFETCH_BERTI_HH
+
+#include <vector>
+
+#include "common/ring_buffer.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace sl
+{
+
+/** Lite Berti: accurate local-delta prefetching with timeliness scoring. */
+class BertiPrefetcher : public Prefetcher
+{
+  public:
+    explicit BertiPrefetcher(unsigned entries = 128);
+
+    void onAccess(const AccessInfo& info) override;
+
+  private:
+    static constexpr unsigned kHistory = 16;
+    static constexpr unsigned kDeltas = 8;
+    /** Assumed fill latency for the timeliness test (L2+LLC-ish). */
+    static constexpr Cycle kLeadCycles = 60;
+
+    struct DeltaScore
+    {
+        std::int64_t delta = 0;
+        unsigned hits = 0;   //!< times the delta recurred timely
+        unsigned tries = 0;  //!< times it was evaluated
+    };
+
+    struct Entry
+    {
+        PC pc = 0;
+        bool valid = false;
+        RingBuffer<std::pair<Addr, Cycle>> history{kHistory};
+        DeltaScore deltas[kDeltas];
+        unsigned accesses = 0;
+    };
+
+    std::vector<Entry> table_;
+};
+
+} // namespace sl
+
+#endif // SL_PREFETCH_BERTI_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Bingo-style spatial footprint prefetcher (lite) [7].
+ *
+ * Learns, per (PC, region-offset) event, the footprint of blocks touched
+ * while a 2KB region is live; on the next trigger access to a region it
+ * replays the recorded footprint.
+ */
+
+#ifndef SL_PREFETCH_BINGO_HH
+#define SL_PREFETCH_BINGO_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace sl
+{
+
+/** Footprint-replay spatial prefetcher over 2KB regions. */
+class BingoPrefetcher : public Prefetcher
+{
+  public:
+    explicit BingoPrefetcher(unsigned history_entries = 4096);
+
+    void onAccess(const AccessInfo& info) override;
+
+  private:
+    static constexpr unsigned kRegionShift = 11; // 2KB regions
+    static constexpr unsigned kBlocksPerRegion =
+        1u << (kRegionShift - kBlockShift);
+
+    struct LiveRegion
+    {
+        std::uint64_t event = 0;  //!< hash of (pc, trigger offset)
+        std::uint32_t footprint = 0;
+        unsigned accesses = 0;
+        std::uint64_t lastTouch = 0;
+    };
+
+    struct HistEntry
+    {
+        std::uint64_t event = 0;
+        std::uint32_t footprint = 0;
+        bool valid = false;
+    };
+
+    void retireRegion(std::uint64_t region, const LiveRegion& live);
+
+    std::unordered_map<std::uint64_t, LiveRegion> live_;
+    std::vector<HistEntry> history_;
+    std::uint64_t accessCount_ = 0;
+};
+
+} // namespace sl
+
+#endif // SL_PREFETCH_BINGO_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * IPCP-style L2 prefetcher (lite): per-IP classification into constant
+ * stride / complex stride / global stream classes [37].
+ */
+
+#ifndef SL_PREFETCH_IPCP_HH
+#define SL_PREFETCH_IPCP_HH
+
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace sl
+{
+
+/** Bouquet-of-IPs classifier prefetcher (lite). */
+class IpcpPrefetcher : public Prefetcher
+{
+  public:
+    explicit IpcpPrefetcher(unsigned entries = 128);
+
+    void onAccess(const AccessInfo& info) override;
+
+  private:
+    struct IpEntry
+    {
+        PC pc = 0;
+        bool valid = false;
+        Addr lastBlock = 0;
+        std::int64_t stride = 0;
+        unsigned strideConf = 0;
+        std::uint32_t signature = 0; //!< rolling delta signature (CPLX)
+    };
+
+    /** CPLX: signature -> predicted next delta with confidence. */
+    struct CplxEntry
+    {
+        std::int64_t delta = 0;
+        unsigned conf = 0;
+    };
+
+    std::vector<IpEntry> table_;
+    std::vector<CplxEntry> cplx_;
+
+    // Global stream (GS) detector: densely ascending global accesses.
+    Addr gsLastBlock_ = 0;
+    unsigned gsConf_ = 0;
+};
+
+} // namespace sl
+
+#endif // SL_PREFETCH_IPCP_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Prefetcher base class and attach points.
+ *
+ * A prefetcher observes demand accesses at the cache it is attached to and
+ * issues prefetch fills into that cache. Temporal prefetchers additionally
+ * hold a pointer to the LLC for metadata traffic and partition control.
+ */
+
+#ifndef SL_PREFETCH_PREFETCHER_HH
+#define SL_PREFETCH_PREFETCHER_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/event.hh"
+#include "common/stats.hh"
+#include "cache/cache.hh"
+
+namespace sl
+{
+
+/** Base class for all prefetchers. */
+class Prefetcher : public CacheListener
+{
+  public:
+    explicit Prefetcher(const std::string& name) : stats_(name) {}
+
+    /** Wire up the prefetcher. Called once by the System builder. */
+    virtual void
+    attach(Cache* owner, Cache* llc, EventQueue* eq, int core_id,
+           unsigned total_cores)
+    {
+        owner_ = owner;
+        llc_ = llc;
+        eq_ = eq;
+        coreId_ = core_id;
+        totalCores_ = total_cores;
+    }
+
+    /**
+     * LLC partition policy of a metadata-holding prefetcher, expressed over
+     * this core's *virtual* set range (see CompositePartition). Null for
+     * prefetchers without LLC metadata.
+     */
+    virtual const PartitionPolicy* partitionPolicy() const
+    {
+        return nullptr;
+    }
+
+    StatGroup& stats() { return stats_; }
+    const StatGroup& stats() const { return stats_; }
+    const std::string& name() const { return stats_.name(); }
+
+  protected:
+    /** Issue a prefetch into the owning cache at cycle @p when. */
+    void
+    prefetch(Addr addr, PC pc, Cycle when)
+    {
+        ++stats_.counter("issued");
+        Cache* c = owner_;
+        const int core = coreId_;
+        eq_->schedule(when, [c, addr, pc, core, when] {
+            c->issuePrefetch(addr, pc, core, when);
+        });
+    }
+
+    /** Number of LLC sets this core's prefetcher can place metadata in. */
+    std::uint32_t
+    metadataSets() const
+    {
+        return llc_ ? llc_->numSets() / totalCores_ : 0;
+    }
+
+    /** Translate a virtual metadata set to a physical LLC set. */
+    std::uint32_t
+    physicalSet(std::uint32_t virt) const
+    {
+        return virt * totalCores_ + static_cast<std::uint32_t>(coreId_);
+    }
+
+    Cache* owner_ = nullptr;
+    Cache* llc_ = nullptr;
+    EventQueue* eq_ = nullptr;
+    int coreId_ = 0;
+    unsigned totalCores_ = 1;
+    StatGroup stats_;
+};
+
+/** Factory invoked per core by the System builder. */
+using PrefetcherFactory =
+    std::function<std::unique_ptr<Prefetcher>(int core_id)>;
+
+} // namespace sl
+
+#endif // SL_PREFETCH_PREFETCHER_HH

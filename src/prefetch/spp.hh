@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SPP-PPF-style L2 prefetcher (lite) [14], [27].
+ *
+ * Signature Path Prefetching: a per-page compressed delta signature
+ * indexes a pattern table of (delta, confidence); predictions chain down
+ * the path with multiplicative confidence, and a perceptron-ish filter
+ * (here a simple threshold over path confidence plus a reject table)
+ * gates low-quality prefetches.
+ */
+
+#ifndef SL_PREFETCH_SPP_HH
+#define SL_PREFETCH_SPP_HH
+
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace sl
+{
+
+/** Signature-path prefetcher with a PPF-like usefulness filter. */
+class SppPrefetcher : public Prefetcher
+{
+  public:
+    explicit SppPrefetcher(unsigned pages = 256);
+
+    void onAccess(const AccessInfo& info) override;
+
+  private:
+    struct PageEntry
+    {
+        std::uint64_t page = 0;
+        bool valid = false;
+        std::uint32_t signature = 0;
+        unsigned lastOffset = 0;
+    };
+
+    struct Pattern
+    {
+        std::int32_t delta = 0;
+        unsigned conf = 0; //!< 0..15
+    };
+
+    std::vector<PageEntry> pages_;
+    std::vector<Pattern> patterns_;
+    /** PPF reject counters indexed by signature hash. */
+    std::vector<std::int8_t> filter_;
+};
+
+} // namespace sl
+
+#endif // SL_PREFETCH_SPP_HH

@@ -1,0 +1,213 @@
+#include "sim/runner.hh"
+
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+#include "prefetch/berti.hh"
+#include "prefetch/bingo.hh"
+#include "prefetch/ipcp.hh"
+#include "prefetch/spp.hh"
+#include "prefetch/stride.hh"
+
+namespace sl
+{
+
+const char*
+l1PfName(L1Pf p)
+{
+    switch (p) {
+      case L1Pf::None: return "none";
+      case L1Pf::Stride: return "stride";
+      case L1Pf::Berti: return "berti";
+    }
+    return "?";
+}
+
+const char*
+l2PfName(L2Pf p)
+{
+    switch (p) {
+      case L2Pf::None: return "none";
+      case L2Pf::Streamline: return "streamline";
+      case L2Pf::Triangel: return "triangel";
+      case L2Pf::TriangelIdeal: return "triangel_ideal";
+      case L2Pf::Triage: return "triage";
+      case L2Pf::TriageIdeal: return "triage_ideal";
+      case L2Pf::Ipcp: return "ipcp";
+      case L2Pf::Bingo: return "bingo";
+      case L2Pf::SppPpf: return "spp_ppf";
+    }
+    return "?";
+}
+
+namespace
+{
+
+PrefetcherFactory
+makeL1Factory(const RunConfig& cfg)
+{
+    switch (cfg.l1) {
+      case L1Pf::None:
+        return nullptr;
+      case L1Pf::Stride:
+        return [](int) { return std::make_unique<StridePrefetcher>(3); };
+      case L1Pf::Berti:
+        return [](int) { return std::make_unique<BertiPrefetcher>(); };
+    }
+    return nullptr;
+}
+
+PrefetcherFactory
+makeL2Factory(const RunConfig& cfg)
+{
+    switch (cfg.l2) {
+      case L2Pf::None:
+        return nullptr;
+      case L2Pf::Streamline:
+        return [cfg](int) {
+            return std::make_unique<StreamlinePrefetcher>(cfg.streamline);
+        };
+      case L2Pf::Triangel:
+        return [cfg](int) {
+            return std::make_unique<TriangelPrefetcher>(cfg.triangel);
+        };
+      case L2Pf::TriangelIdeal:
+        return [cfg](int) {
+            TriangelConfig tc = cfg.triangel;
+            tc.ideal = true;
+            return std::make_unique<TriangelPrefetcher>(tc);
+        };
+      case L2Pf::Triage:
+        return [cfg](int) {
+            return std::make_unique<TriagePrefetcher>(cfg.triage);
+        };
+      case L2Pf::TriageIdeal:
+        return [cfg](int) {
+            TriageConfig tc = cfg.triage;
+            tc.unlimited = true;
+            return std::make_unique<TriagePrefetcher>(tc);
+        };
+      case L2Pf::Ipcp:
+        return [](int) { return std::make_unique<IpcpPrefetcher>(); };
+      case L2Pf::Bingo:
+        return [](int) { return std::make_unique<BingoPrefetcher>(); };
+      case L2Pf::SppPpf:
+        return [](int) { return std::make_unique<SppPrefetcher>(); };
+    }
+    return nullptr;
+}
+
+} // namespace
+
+RunResult
+runWorkloads(const RunConfig& cfg,
+             const std::vector<std::string>& workloads)
+{
+    assert(workloads.size() == cfg.cores);
+
+    std::vector<TracePtr> traces;
+    traces.reserve(cfg.cores);
+    for (const auto& w : workloads)
+        traces.push_back(getTrace(w, cfg.traceScale, cfg.seed));
+
+    SystemConfig sc;
+    sc.cores = cfg.cores;
+    sc.dramMTs = cfg.dramMTs;
+    sc.l1dPrefetcher = makeL1Factory(cfg);
+    sc.l2Prefetcher = makeL2Factory(cfg);
+
+    System sys(sc, traces);
+    sys.run();
+
+    RunResult res;
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        CoreResult cr;
+        cr.workload = workloads[c];
+        cr.ipc = sys.core(c).ipc();
+        const auto& l2 = sys.l2(c).stats();
+        cr.l2DemandMisses = l2.get("demand_misses");
+        cr.l2PrefetchUseful = l2.get("prefetch_useful");
+        cr.l2PrefetchIssued = l2.get("prefetch_issued");
+        res.cores.push_back(cr);
+
+        std::map<std::string, std::uint64_t> snap;
+        if (Prefetcher* pf = sys.l2Prefetcher(c)) {
+            for (const auto& [k, v] : pf->stats().counters())
+                snap[k] = v.value();
+        }
+        res.l2PfStats.push_back(std::move(snap));
+    }
+
+    const auto& llc = sys.llc().stats();
+    res.llcMetaReads = llc.get("metadata_reads");
+    res.llcMetaWrites = llc.get("metadata_writes");
+    res.llcShuffleBlocks = llc.get("metadata_shuffle_blocks");
+
+    const auto& dram = sys.dram().stats();
+    res.dramReads = dram.get("reads");
+    res.dramWrites = dram.get("writes");
+    res.dramBytes = dram.get("bytes");
+
+    if (cfg.l2 == L2Pf::Streamline) {
+        auto* sl_pf =
+            static_cast<StreamlinePrefetcher*>(sys.l2Prefetcher(0));
+        for (const auto& [k, v] : sl_pf->store().stats().counters())
+            res.storeStats[k] = v.value();
+        res.storedCorrelations = sl_pf->storedCorrelations();
+    } else if (cfg.l2 == L2Pf::Triangel ||
+               cfg.l2 == L2Pf::TriangelIdeal) {
+        auto* tg = static_cast<TriangelPrefetcher*>(sys.l2Prefetcher(0));
+        res.storedCorrelations = tg->storedCorrelations();
+    } else if (cfg.l2 == L2Pf::Triage || cfg.l2 == L2Pf::TriageIdeal) {
+        auto* tr = static_cast<TriagePrefetcher*>(sys.l2Prefetcher(0));
+        res.storedCorrelations = tr->storedCorrelations();
+    }
+
+    return res;
+}
+
+RunResult
+runWorkload(const RunConfig& cfg, const std::string& workload)
+{
+    RunConfig c1 = cfg;
+    c1.cores = 1;
+    return runWorkloads(c1, {workload});
+}
+
+std::vector<std::string>
+irregularSubset(double scale)
+{
+    if (scale <= 0)
+        scale = defaultTraceScale();
+    static std::map<double, std::vector<std::string>> cache;
+    if (auto it = cache.find(scale); it != cache.end())
+        return it->second;
+
+    std::vector<std::string> subset;
+    for (const auto& w : workloadNames()) {
+        RunConfig base;
+        base.traceScale = scale;
+        const double ipc_base = runWorkload(base, w).cores[0].ipc;
+        RunConfig ideal = base;
+        ideal.l2 = L2Pf::TriageIdeal;
+        const double ipc_ideal = runWorkload(ideal, w).cores[0].ipc;
+        if (ipc_ideal >= 1.05 * ipc_base)
+            subset.push_back(w);
+    }
+    cache[scale] = subset;
+    return subset;
+}
+
+double
+speedupOver(const std::vector<double>& baseline_ipc,
+            const std::vector<double>& variant_ipc)
+{
+    assert(baseline_ipc.size() == variant_ipc.size());
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < baseline_ipc.size(); ++i)
+        speedups.push_back(variant_ipc[i] / baseline_ipc[i]);
+    return geomean(speedups);
+}
+
+} // namespace sl

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Experiment runner: builds a System for a named prefetcher configuration,
+ * drives workloads through it, and extracts the paper's metrics (IPC,
+ * speedup, prefetch coverage/accuracy, metadata traffic).
+ */
+
+#ifndef SL_SIM_RUNNER_HH
+#define SL_SIM_RUNNER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/streamline.hh"
+#include "sim/system.hh"
+#include "temporal/triage.hh"
+#include "temporal/triangel.hh"
+#include "trace/workloads.hh"
+
+namespace sl
+{
+
+/** L1D prefetcher selection. */
+enum class L1Pf { None, Stride, Berti };
+
+/** L2 prefetcher selection. */
+enum class L2Pf
+{
+    None,
+    Streamline,
+    Triangel,
+    TriangelIdeal,
+    Triage,
+    TriageIdeal,
+    Ipcp,
+    Bingo,
+    SppPpf
+};
+
+const char* l1PfName(L1Pf p);
+const char* l2PfName(L2Pf p);
+
+/** Everything needed to reproduce one run. */
+struct RunConfig
+{
+    unsigned cores = 1;
+    L1Pf l1 = L1Pf::Stride;
+    L2Pf l2 = L2Pf::None;
+    StreamlineConfig streamline; //!< used when l2 == Streamline
+    TriangelConfig triangel;     //!< used for Triangel variants
+    TriageConfig triage;         //!< used for Triage variants
+    unsigned dramMTs = 3200;
+    double traceScale = -1.0;    //!< <=0: SL_TRACE_SCALE default
+    std::uint64_t seed = 1;
+};
+
+/** Per-core outcome. */
+struct CoreResult
+{
+    std::string workload;
+    double ipc = 0;
+    std::uint64_t l2DemandMisses = 0;
+    std::uint64_t l2PrefetchUseful = 0;
+    std::uint64_t l2PrefetchIssued = 0;
+
+    /** Covered fraction of would-be L2 misses. */
+    double
+    coverage() const
+    {
+        return ratio(l2PrefetchUseful, l2PrefetchUseful + l2DemandMisses);
+    }
+
+    /** Useful fraction of issued prefetches. */
+    double
+    accuracy() const
+    {
+        return ratio(l2PrefetchUseful, l2PrefetchIssued);
+    }
+};
+
+/** Whole-run outcome. */
+struct RunResult
+{
+    std::vector<CoreResult> cores;
+
+    std::uint64_t llcMetaReads = 0;
+    std::uint64_t llcMetaWrites = 0;
+    std::uint64_t llcShuffleBlocks = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t dramBytes = 0;
+
+    /** Stat snapshots for deeper probes (per core). */
+    std::vector<std::map<std::string, std::uint64_t>> l2PfStats;
+    /** Streamline store stats for core 0 (empty otherwise). */
+    std::map<std::string, std::uint64_t> storeStats;
+    /** Stored correlations at end of run, core 0. */
+    std::uint64_t storedCorrelations = 0;
+
+    /** Total metadata traffic in LLC accesses (reads+writes+shuffle). */
+    std::uint64_t
+    metadataTraffic() const
+    {
+        return llcMetaReads + llcMetaWrites + 2 * llcShuffleBlocks;
+    }
+
+    double
+    meanIpc() const
+    {
+        std::vector<double> v;
+        for (const auto& c : cores)
+            v.push_back(c.ipc);
+        return geomean(v);
+    }
+
+    double
+    meanCoverage() const
+    {
+        double s = 0;
+        for (const auto& c : cores)
+            s += c.coverage();
+        return cores.empty() ? 0 : s / cores.size();
+    }
+
+    double
+    meanAccuracy() const
+    {
+        double s = 0;
+        for (const auto& c : cores)
+            s += c.accuracy();
+        return cores.empty() ? 0 : s / cores.size();
+    }
+};
+
+/** Run @p workloads (one per core) under @p cfg. */
+RunResult runWorkloads(const RunConfig& cfg,
+                       const std::vector<std::string>& workloads);
+
+/** Single-core convenience wrapper. */
+RunResult runWorkload(const RunConfig& cfg, const std::string& workload);
+
+/**
+ * The paper's irregular subset (§V-A3): workloads with >= 5% speedup
+ * headroom under an idealised Triage with unlimited metadata. Memoised
+ * per trace scale.
+ */
+std::vector<std::string> irregularSubset(double scale = -1.0);
+
+/** Geomean speedup of @p variant over @p baseline, matched by workload. */
+double speedupOver(const std::vector<double>& baseline_ipc,
+                   const std::vector<double>& variant_ipc);
+
+} // namespace sl
+
+#endif // SL_SIM_RUNNER_HH

@@ -1,0 +1,145 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace sl
+{
+
+namespace
+{
+
+/** Table II: 1/2/4/8 cores -> 1/2/2/4 channels, 1/1/2/2 ranks/channel. */
+DramParams
+dramForCores(unsigned cores, unsigned mts)
+{
+    DramParams p;
+    p.transferMTs = mts;
+    switch (cores) {
+      case 1: p.channels = 1; p.ranksPerChannel = 1; break;
+      case 2: p.channels = 2; p.ranksPerChannel = 1; break;
+      case 4: p.channels = 2; p.ranksPerChannel = 2; break;
+      default: p.channels = 4; p.ranksPerChannel = 2; break;
+    }
+    return p;
+}
+
+} // namespace
+
+SystemConfig
+paperGeometry()
+{
+    SystemConfig c;
+    c.l1dBytes = 48 * 1024;
+    c.l1dWays = 12;
+    c.l2Bytes = 512 * 1024;
+    c.llcBytesPerCore = 2 * 1024 * 1024;
+    return c;
+}
+
+System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
+    : cfg_(cfg)
+{
+    assert(traces.size() == cfg.cores && "one trace per core");
+
+    dram_ = std::make_unique<Dram>(dramForCores(cfg.cores, cfg.dramMTs),
+                                   eq_);
+
+    CacheParams llc_params;
+    llc_params.name = "llc";
+    llc_params.sizeBytes = cfg.llcBytesPerCore * cfg.cores;
+    llc_params.ways = cfg.llcWays;
+    llc_params.latency = cfg.llcLatency;
+    llc_params.mshrs = cfg.llcMshrsPerCore * cfg.cores;
+    llc_params.ports = cfg.cores; // banked: one access/cycle per core slice
+    llc_ = std::make_unique<Cache>(llc_params, eq_, dram_.get());
+
+    partition_ = std::make_unique<CompositePartition>(cfg.cores);
+    llc_->setPartition(partition_.get());
+
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        CacheParams l2p;
+        l2p.name = "l2_" + std::to_string(c);
+        l2p.sizeBytes = cfg.l2Bytes;
+        l2p.ways = cfg.l2Ways;
+        l2p.latency = cfg.l2Latency;
+        l2p.mshrs = cfg.l2Mshrs;
+        l2p.ports = cfg.l2Ports;
+        l2s_.push_back(std::make_unique<Cache>(l2p, eq_, llc_.get()));
+
+        CacheParams l1p;
+        l1p.name = "l1d_" + std::to_string(c);
+        l1p.sizeBytes = cfg.l1dBytes;
+        l1p.ways = cfg.l1dWays;
+        l1p.latency = cfg.l1dLatency;
+        l1p.mshrs = cfg.l1dMshrs;
+        l1p.ports = cfg.l1dPorts;
+        l1ds_.push_back(
+            std::make_unique<Cache>(l1p, eq_, l2s_.back().get()));
+
+        cores_.push_back(std::make_unique<Core>(
+            static_cast<int>(c), cfg.core, eq_, l1ds_.back().get(),
+            traces[c]));
+
+        if (cfg.l1dPrefetcher) {
+            auto pf = cfg.l1dPrefetcher(static_cast<int>(c));
+            pf->attach(l1ds_.back().get(), llc_.get(), &eq_,
+                       static_cast<int>(c), cfg.cores);
+            l1ds_.back()->setListener(pf.get());
+            l1dPfs_.push_back(std::move(pf));
+        } else {
+            l1dPfs_.push_back(nullptr);
+        }
+
+        if (cfg.l2Prefetcher) {
+            auto pf = cfg.l2Prefetcher(static_cast<int>(c));
+            pf->attach(l2s_.back().get(), llc_.get(), &eq_,
+                       static_cast<int>(c), cfg.cores);
+            l2s_.back()->setListener(pf.get());
+            if (const PartitionPolicy* pol = pf->partitionPolicy())
+                partition_->setPolicy(c, pol);
+            l2Pfs_.push_back(std::move(pf));
+        } else {
+            l2Pfs_.push_back(nullptr);
+        }
+    }
+}
+
+System::~System() = default;
+
+void
+System::run(std::uint64_t max_cycles)
+{
+    Cycle cycle = 0;
+    while (true) {
+        bool all_done = true;
+        for (const auto& c : cores_)
+            all_done &= c->done();
+        if (all_done)
+            break;
+        if (cycle > max_cycles)
+            throw std::runtime_error("simulation exceeded cycle limit");
+
+        eq_.runUntil(cycle);
+
+        bool progress = false;
+        for (auto& c : cores_)
+            progress |= c->step(cycle);
+
+        if (progress) {
+            ++cycle;
+            continue;
+        }
+
+        // Idle: fast-forward to the next event or known core wake-up.
+        Cycle next = eq_.nextCycle();
+        for (const auto& c : cores_)
+            next = std::min(next, c->nextWake(cycle));
+        if (next == kNoCycle)
+            throw std::runtime_error("simulation deadlock");
+        cycle = std::max(next, cycle + 1);
+    }
+}
+
+} // namespace sl

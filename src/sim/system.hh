@@ -1,0 +1,136 @@
+/**
+ * @file
+ * System builder and run loop: cores, cache hierarchy, DRAM, prefetchers.
+ *
+ * Geometry and timing follow Table II of the paper; DRAM channels/ranks
+ * scale with core count exactly as the table specifies.
+ */
+
+#ifndef SL_SIM_SYSTEM_HH
+#define SL_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/event.hh"
+#include "cache/cache.hh"
+#include "cpu/core.hh"
+#include "dram/dram.hh"
+#include "prefetch/prefetcher.hh"
+#include "trace/trace.hh"
+
+namespace sl
+{
+
+/**
+ * Top-level configuration.
+ *
+ * Latencies, widths, associativities, MSHRs, ports, and DRAM timing are
+ * Table II's. Cache *capacities* default to 1/8 of Table II (LLC 256KB
+ * per core instead of 2MB) so that laptop-scale traces exercise the same
+ * capacity ratios the paper's 800M-instruction SPEC/GAP runs exercise
+ * against a 2MB LLC; call paperGeometry() for the full-size machine.
+ */
+struct SystemConfig
+{
+    unsigned cores = 1;
+    CoreParams core;
+
+    std::size_t l1dBytes = 8 * 1024;
+    unsigned l1dWays = 8;
+    unsigned l1dLatency = 5;
+    unsigned l1dMshrs = 16;
+    unsigned l1dPorts = 2;
+
+    std::size_t l2Bytes = 64 * 1024;
+    unsigned l2Ways = 8;
+    unsigned l2Latency = 10;
+    unsigned l2Mshrs = 32;
+    unsigned l2Ports = 1;
+
+    std::size_t llcBytesPerCore = 256 * 1024;
+    unsigned llcWays = 16;
+    unsigned llcLatency = 20;
+    unsigned llcMshrsPerCore = 64;
+
+    unsigned dramMTs = 3200; //!< Fig 10c sweeps this
+
+    PrefetcherFactory l1dPrefetcher; //!< may be empty
+    PrefetcherFactory l2Prefetcher;  //!< may be empty
+};
+
+/** The unscaled Table II machine (2MB LLC/core, 512KB L2, 48KB L1D). */
+SystemConfig paperGeometry();
+
+/**
+ * Splits the shared LLC's sets among the per-core temporal prefetchers:
+ * core c owns physical sets where set % cores == c and exposes them to its
+ * prefetcher as a contiguous virtual range.
+ */
+class CompositePartition : public PartitionPolicy
+{
+  public:
+    explicit CompositePartition(unsigned cores) : policies_(cores) {}
+
+    void
+    setPolicy(unsigned core, const PartitionPolicy* p)
+    {
+        policies_[core] = p;
+    }
+
+    unsigned
+    reservedWays(std::uint32_t set) const override
+    {
+        const unsigned cores = static_cast<unsigned>(policies_.size());
+        const PartitionPolicy* p = policies_[set % cores];
+        return p ? p->reservedWays(set / cores) : 0;
+    }
+
+  private:
+    std::vector<const PartitionPolicy*> policies_;
+};
+
+/** A fully wired simulated machine. */
+class System
+{
+  public:
+    System(const SystemConfig& cfg, std::vector<TracePtr> traces);
+    ~System();
+
+    System(const System&) = delete;
+    System& operator=(const System&) = delete;
+
+    /**
+     * Run until every core completes its measurement region (cores that
+     * finish early replay their traces to keep contending).
+     * @param max_cycles safety limit; throws on overrun
+     */
+    void run(std::uint64_t max_cycles = 200'000'000'000ULL);
+
+    unsigned cores() const { return static_cast<unsigned>(cores_.size()); }
+    Core& core(unsigned i) { return *cores_[i]; }
+    Cache& l1d(unsigned i) { return *l1ds_[i]; }
+    Cache& l2(unsigned i) { return *l2s_[i]; }
+    Cache& llc() { return *llc_; }
+    Dram& dram() { return *dram_; }
+    EventQueue& eventQueue() { return eq_; }
+
+    Prefetcher* l1dPrefetcher(unsigned i) { return l1dPfs_[i].get(); }
+    Prefetcher* l2Prefetcher(unsigned i) { return l2Pfs_[i].get(); }
+
+  private:
+    SystemConfig cfg_;
+    EventQueue eq_;
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<Cache> llc_;
+    std::vector<std::unique_ptr<Cache>> l2s_;
+    std::vector<std::unique_ptr<Cache>> l1ds_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<Prefetcher>> l1dPfs_;
+    std::vector<std::unique_ptr<Prefetcher>> l2Pfs_;
+    std::unique_ptr<CompositePartition> partition_;
+};
+
+} // namespace sl
+
+#endif // SL_SIM_SYSTEM_HH

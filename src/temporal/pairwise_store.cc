@@ -1,0 +1,222 @@
+#include "temporal/pairwise_store.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.hh"
+
+namespace sl
+{
+
+PairwiseStore::PairwiseStore(const PairwiseStoreParams& params)
+    : params_(params), ways_(params.maxWays),
+      blocks_(static_cast<std::size_t>(params.sets) * params.maxWays),
+      reusePred_(params.utilityRepl ? 1024 : 0, 0),
+      stats_("pairwise_store")
+{
+    for (auto& b : blocks_)
+        b.resize(params_.entriesPerBlock);
+}
+
+std::uint32_t
+PairwiseStore::setIndex(Addr trigger) const
+{
+    return static_cast<std::uint32_t>(mix64(trigger) % params_.sets);
+}
+
+bool
+PairwiseStore::sampledSet(std::uint32_t set) const
+{
+    if (params_.sampledSets == 0 || params_.sampledSets >= params_.sets)
+        return params_.sampledSets != 0;
+    return set % (params_.sets / params_.sampledSets) == 0;
+}
+
+std::uint64_t
+PairwiseStore::takeSampledHits()
+{
+    const std::uint64_t n = sampledHitsEpoch_;
+    sampledHitsEpoch_ = 0;
+    return n;
+}
+
+unsigned
+PairwiseStore::waysFor(std::uint32_t set) const
+{
+    // Sampled sets stay at full size so the partitioner can always
+    // observe metadata utility, even with the partition sized to zero.
+    return sampledSet(set) ? params_.maxWays : ways_;
+}
+
+unsigned
+PairwiseStore::wayIndex(Addr trigger, unsigned ways) const
+{
+    // Second-level index over the *currently allocated* ways: this is the
+    // function that changes on resize and misplaces entries (Fig 5a).
+    return ways == 0
+               ? 0
+               : static_cast<unsigned>((mix64(trigger) >> 32) % ways);
+}
+
+std::vector<PairwiseStore::Entry>&
+PairwiseStore::block(std::uint32_t set, unsigned way)
+{
+    return blocks_[static_cast<std::size_t>(set) * params_.maxWays + way];
+}
+
+PairwiseStore::Entry*
+PairwiseStore::findEntry(Addr trigger)
+{
+    const std::uint32_t set = setIndex(trigger);
+    const unsigned ways = waysFor(set);
+    if (ways == 0)
+        return nullptr;
+    auto& blk = block(set, wayIndex(trigger, ways));
+    for (auto& e : blk) {
+        if (e.valid && e.trigger == trigger)
+            return &e;
+    }
+    return nullptr;
+}
+
+std::optional<Addr>
+PairwiseStore::lookup(Addr trigger)
+{
+    if (Entry* e = findEntry(trigger)) {
+        ++stats_.counter("hits");
+        if (sampledSet(setIndex(trigger))) {
+            ++stats_.counter("sampled_hits");
+            ++sampledHitsEpoch_;
+        }
+        e->rrpv = 0;
+        return e->target;
+    }
+    ++stats_.counter("misses");
+    return std::nullopt;
+}
+
+void
+PairwiseStore::insert(Addr trigger, Addr target)
+{
+    const std::uint32_t set = setIndex(trigger);
+    const unsigned ways = waysFor(set);
+    if (ways == 0)
+        return;
+    ++stats_.counter("inserts");
+
+    if (Entry* e = findEntry(trigger)) {
+        if (params_.utilityRepl) {
+            // TP-style utility: the *correlation* repeating is the signal,
+            // not the trigger alone.
+            auto& p = reusePred_[mix64(trigger) % reusePred_.size()];
+            if (e->target == target)
+                p = static_cast<std::int8_t>(std::min(8, p + 1));
+            else
+                p = static_cast<std::int8_t>(std::max(-8, p - 2));
+        }
+        e->target = target;
+        e->rrpv = 0;
+        return;
+    }
+
+    // Bimodal (BRRIP-style) insertion: most new entries arrive as
+    // near-immediate eviction candidates; a protected minority persists,
+    // which keeps a resident subset alive under cyclic miss streams.
+    std::uint8_t insert_rrpv = (mix64(trigger ^ 0x5bd1) & 7) == 0 ? 2 : 3;
+    if (params_.utilityRepl) {
+        const auto pred = reusePred_[mix64(trigger) % reusePred_.size()];
+        if (pred < 0)
+            insert_rrpv = 3; // predicted useless: evict first
+        else if (pred > 2)
+            insert_rrpv = 1; // proven stable correlation: protect
+    }
+
+    auto& blk = block(set, wayIndex(trigger, ways));
+    // SRRIP victim selection among the block's slots.
+    while (true) {
+        for (auto& e : blk) {
+            if (!e.valid) {
+                e = Entry{true, trigger, target, insert_rrpv};
+                ++liveEntries_;
+                return;
+            }
+        }
+        for (auto& e : blk) {
+            if (e.rrpv >= 3) {
+                ++stats_.counter("evictions");
+                e = Entry{true, trigger, target, insert_rrpv};
+                return;
+            }
+        }
+        for (auto& e : blk)
+            ++e.rrpv;
+    }
+}
+
+void
+PairwiseStore::probeSampled(Addr trigger)
+{
+    if (!sampledSet(setIndex(trigger)))
+        return;
+    if (findEntry(trigger)) {
+        ++stats_.counter("sampled_hits");
+        ++sampledHitsEpoch_;
+    }
+}
+
+void
+PairwiseStore::erase(Addr trigger)
+{
+    if (Entry* e = findEntry(trigger)) {
+        e->valid = false;
+        --liveEntries_;
+    }
+}
+
+std::uint64_t
+PairwiseStore::resize(unsigned ways)
+{
+    assert(ways <= params_.maxWays);
+    if (ways == ways_)
+        return 0;
+
+    const unsigned old_ways = ways_;
+    ways_ = ways;
+
+    // Rearrangement (sampled sets are exempt -- they never re-index).
+    // Every entry whose way index changed under the new function must
+    // move through the LLC; with ways == 0 everything is discarded.
+    std::vector<Entry> moved;
+    for (std::uint32_t s = 0; s < params_.sets; ++s) {
+        if (sampledSet(s))
+            continue;
+        for (unsigned w = 0; w < old_ways; ++w) {
+            auto& blk = block(s, w);
+            for (auto& e : blk) {
+                if (!e.valid)
+                    continue;
+                if (ways == 0) {
+                    e.valid = false;
+                    --liveEntries_;
+                    continue;
+                }
+                if (wayIndex(e.trigger, ways) != w || w >= ways) {
+                    moved.push_back(e);
+                    e.valid = false;
+                    --liveEntries_;
+                }
+            }
+        }
+    }
+    for (const auto& e : moved)
+        insert(e.trigger, e.target);
+    stats_.counter("rearranged_entries") += moved.size();
+
+    // Each moved entry implies reading its old block and writing its new
+    // one; entries within a block batch, so charge ~entries/epb blocks,
+    // times two for the read+write.
+    return 2 * ((moved.size() + params_.entriesPerBlock - 1) /
+                params_.entriesPerBlock);
+}
+
+} // namespace sl

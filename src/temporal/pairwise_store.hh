@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Pairwise (trigger -> target) metadata store used by Triage and Triangel.
+ *
+ * Models the way-partitioned organisation of §III: the trigger's hash picks
+ * an LLC set, a second-level hash picks one of the currently allocated
+ * metadata ways, and the entry lives among that block's `entriesPerBlock`
+ * slots under SRRIP replacement. Resizing changes the way-index function,
+ * misplacing entries; rearrangement cost is reported to the caller
+ * (Triangel shuffles up to 1MB of metadata per resize, §III-C2).
+ */
+
+#ifndef SL_TEMPORAL_PAIRWISE_STORE_HH
+#define SL_TEMPORAL_PAIRWISE_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sl
+{
+
+/** Configuration for a pairwise metadata store. */
+struct PairwiseStoreParams
+{
+    std::uint32_t sets = 2048;     //!< virtual LLC sets available
+    unsigned maxWays = 8;          //!< largest metadata partition, in ways
+    unsigned entriesPerBlock = 12; //!< 12 uncompressed, 16 LUT-compressed
+    /**
+     * Utility-aware replacement (the Triangel+TP-Mockingjay variant of
+     * Fig 13c): triggers whose correlations keep changing insert at
+     * distant RRPV so they evict first.
+     */
+    bool utilityRepl = false;
+    /** Permanently full-size sampled sets used by the partitioner to
+     *  measure metadata utility (mirrors Streamline's 64 sets). */
+    unsigned sampledSets = 64;
+};
+
+/** Way-partitioned pairwise metadata store. */
+class PairwiseStore
+{
+  public:
+    explicit PairwiseStore(const PairwiseStoreParams& params);
+
+    /** Look up the prefetch target recorded for @p trigger. */
+    std::optional<Addr> lookup(Addr trigger);
+
+    /** Is @p set one of the permanently full-size sampled sets? */
+    bool sampledSet(std::uint32_t set) const;
+
+    /** Hits observed in sampled sets since the last call (and reset). */
+    std::uint64_t takeSampledHits();
+
+    /**
+     * Measurement-only lookup: probes the always-resident sampled sets
+     * so the partitioner keeps seeing metadata utility even while the
+     * prefetcher's confidence gates suppress real lookups.
+     */
+    void probeSampled(Addr trigger);
+
+    /** Record the correlation trigger -> target. */
+    void insert(Addr trigger, Addr target);
+
+    /** Remove the correlation for @p trigger if present. */
+    void erase(Addr trigger);
+
+    /**
+     * Resize the partition to @p ways (0..maxWays), rearranging misplaced
+     * entries as Triangel does.
+     * @return number of metadata *blocks* that had to move
+     */
+    std::uint64_t resize(unsigned ways);
+
+    unsigned ways() const { return ways_; }
+    std::uint32_t sets() const { return params_.sets; }
+
+    /** Live correlations currently stored. */
+    std::uint64_t size() const { return liveEntries_; }
+
+    /** Correlations the current partition can hold. */
+    std::uint64_t
+    capacity() const
+    {
+        return static_cast<std::uint64_t>(params_.sets) * ways_ *
+               params_.entriesPerBlock;
+    }
+
+    StatGroup& stats() { return stats_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr trigger = 0;
+        Addr target = 0;
+        std::uint8_t rrpv = 3;
+    };
+
+    std::uint32_t setIndex(Addr trigger) const;
+    unsigned wayIndex(Addr trigger, unsigned ways) const;
+    unsigned waysFor(std::uint32_t set) const;
+    Entry* findEntry(Addr trigger);
+    std::vector<Entry>& block(std::uint32_t set, unsigned way);
+
+    PairwiseStoreParams params_;
+    unsigned ways_;
+    /** blocks_[set * maxWays + way] -> entriesPerBlock slots. */
+    std::vector<std::vector<Entry>> blocks_;
+    std::uint64_t liveEntries_ = 0;
+    /** Per-trigger-hash reuse predictor for utilityRepl (-8..8). */
+    std::vector<std::int8_t> reusePred_;
+    std::uint64_t sampledHitsEpoch_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace sl
+
+#endif // SL_TEMPORAL_PAIRWISE_STORE_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Triage on-chip temporal prefetcher [53], [54].
+ *
+ * First prefetcher to keep temporal metadata in an LLC partition. Pairwise
+ * metadata with LUT-compressed targets (16 correlations/block), a per-PC
+ * training unit holding the last address, degree-4 chained prefetching,
+ * and Hawkeye-style partition sizing every 50K accesses (modelled with
+ * stack-distance samplers). Also provides the *idealised* variant with
+ * unlimited metadata used to define the paper's irregular subset (§V-A3).
+ */
+
+#ifndef SL_TEMPORAL_TRIAGE_HH
+#define SL_TEMPORAL_TRIAGE_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+#include "temporal/pairwise_store.hh"
+#include "temporal/sampler.hh"
+
+namespace sl
+{
+
+/** Configuration for Triage. */
+struct TriageConfig
+{
+    unsigned degree = 4;
+    unsigned tuEntries = 256;
+    unsigned maxWays = 8;
+    unsigned resizeInterval = 50'000;
+    bool unlimited = false; //!< idealised: unbounded, zero-cost metadata
+};
+
+/** The Triage prefetcher. Attach to an L2; metadata lives in the LLC. */
+class TriagePrefetcher : public Prefetcher, public PartitionPolicy
+{
+  public:
+    explicit TriagePrefetcher(const TriageConfig& cfg = {});
+
+    void attach(Cache* owner, Cache* llc, EventQueue* eq, int core_id,
+                unsigned total_cores) override;
+
+    void onAccess(const AccessInfo& info) override;
+
+    const PartitionPolicy* partitionPolicy() const override { return this; }
+
+    // PartitionPolicy (way-partitioning: same reservation in every set)
+    unsigned
+    reservedWays(std::uint32_t set) const override
+    {
+        if (cfg_.unlimited)
+            return 0;
+        if (store_ && store_->sampledSet(set))
+            return cfg_.maxWays;
+        return currentWays_;
+    }
+
+    /** Correlations currently stored (used by capacity probes). */
+    std::uint64_t storedCorrelations() const;
+
+  private:
+    struct TuEntry
+    {
+        PC pc = 0;
+        Addr lastBlock = 0;
+        bool valid = false;
+    };
+
+    struct Lut
+    {
+        // Direct-mapped region table modelling Triage's target compression;
+        // stale regions reconstruct wrong targets (the accuracy loss the
+        // Triangel authors reported).
+        std::vector<std::uint64_t> regions = std::vector<std::uint64_t>(
+            1024, ~0ULL);
+
+        std::uint16_t
+        index(std::uint64_t region) const
+        {
+            return static_cast<std::uint16_t>(region % regions.size());
+        }
+    };
+
+    void train(Addr block, PC pc, Cycle now);
+    void issueChain(Addr block, PC pc, Cycle now);
+    void maybeResize();
+
+    TriageConfig cfg_;
+    // Sized at attach() time from the LLC geometry.
+    std::optional<PairwiseStore> store_;
+    std::unordered_map<Addr, Addr> unlimitedStore_;
+    std::vector<TuEntry> tu_;
+    Lut lut_;
+
+    // Partition sizing sampler (see temporal/sampler.hh).
+    std::optional<LruStackSampler> dataSampler_;
+    std::uint64_t accessesSinceResize_ = 0;
+    unsigned currentWays_ = 0;
+};
+
+} // namespace sl
+
+#endif // SL_TEMPORAL_TRIAGE_HH

@@ -1,0 +1,270 @@
+#include "temporal/triangel.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+
+namespace sl
+{
+
+TriangelPrefetcher::TriangelPrefetcher(const TriangelConfig& cfg)
+    : Prefetcher(cfg.ideal ? "triangel_ideal" : "triangel"), cfg_(cfg),
+      tu_(cfg.tuEntries), hs_(cfg.hsEntries), scs_(cfg.scsEntries),
+      mrb_(cfg.mrbEntries)
+{
+}
+
+void
+TriangelPrefetcher::attach(Cache* owner, Cache* llc, EventQueue* eq,
+                           int core_id, unsigned total_cores)
+{
+    Prefetcher::attach(owner, llc, eq, core_id, total_cores);
+    PairwiseStoreParams sp;
+    sp.sets = metadataSets();
+    sp.maxWays = cfg_.maxWays;
+    sp.entriesPerBlock = 12; // uncompressed 31-bit targets
+    sp.utilityRepl = cfg_.useTpMockingjay;
+    store_.emplace(sp);
+    currentWays_ = cfg_.ideal ? cfg_.maxWays : cfg_.maxWays / 2;
+    store_->resize(currentWays_);
+    dataSampler_.emplace(std::min<std::uint32_t>(64, metadataSets()),
+                         metadataSets(), llc_->ways());
+}
+
+TriangelPrefetcher::TuEntry&
+TriangelPrefetcher::tuFor(PC pc)
+{
+    TuEntry& tu = tu_[mix64(pc) % tu_.size()];
+    if (!tu.valid || tu.pc != pc) {
+        tu = TuEntry{};
+        tu.pc = pc;
+        tu.valid = true;
+    }
+    return tu;
+}
+
+void
+TriangelPrefetcher::adaptSampleRate()
+{
+    // Tune the global sampling rate so HS samples live long enough to see
+    // their reuse: too many inserts per observed hit means samples are
+    // being evicted before the stream comes around again -> sample less.
+    windowEvents_ = 0;
+    if (windowHsInserts_ > 4 * (windowHsHits_ + 1)) {
+        if (sampleShift_ < 14)
+            ++sampleShift_;
+    } else if (windowHsHits_ > windowHsInserts_) {
+        if (sampleShift_ > 2)
+            --sampleShift_;
+    }
+    windowHsHits_ = 0;
+    windowHsInserts_ = 0;
+}
+
+void
+TriangelPrefetcher::trainConfidence(TuEntry& tu, Addr trigger, Addr target)
+{
+    ++tu.trainCount;
+    if (++windowEvents_ >= 8192)
+        adaptSampleRate();
+    const bool sample =
+        (mix64(trigger ^ tu.pc) & ((1ULL << sampleShift_) - 1)) == 0;
+
+    // Check the HS for this trigger: a matching echo trains pattern
+    // confidence; a mismatch gets a second chance (reordering leeway).
+    HsEntry& h = hs_[mix64(trigger) % hs_.size()];
+    if (h.valid && h.trigger == trigger && h.pc == tu.pc) {
+        // Reuse observed before eviction.
+        ++windowHsHits_;
+        tu.reuseConf = std::min(15, tu.reuseConf + 4);
+        if (h.target == target) {
+            tu.patternConf = std::min(15, tu.patternConf + 3);
+        } else {
+            tu.patternConf = std::max(0, tu.patternConf - 2);
+            // Mismatch: park in the SCS in case the target shows up late.
+            HsEntry& s = scs_[mix64(h.target) % scs_.size()];
+            s = h;
+        }
+        h.valid = false;
+    }
+
+    // SCS: if some parked correlation predicted this target, the pattern
+    // held after reordering.
+    HsEntry& s = scs_[mix64(target) % scs_.size()];
+    if (s.valid && s.target == target && s.pc == tu.pc) {
+        // Reordered match: the pattern held after all.
+        tu.patternConf = std::min(15, tu.patternConf + 3);
+        s.valid = false;
+    }
+
+    if (sample) {
+        ++windowHsInserts_;
+        HsEntry& slot = hs_[mix64(trigger) % hs_.size()];
+        if (slot.valid) {
+            // Evicted without being reused: reuse confidence decays.
+            TuEntry& victim_tu = tuFor(slot.pc);
+            victim_tu.reuseConf = std::max(0, victim_tu.reuseConf - 1);
+        }
+        slot = HsEntry{true, tu.pc, trigger, target};
+    }
+
+    // Slow decay of pattern confidence so stale confidence unlearns.
+    if (tu.trainCount % 4096 == 0)
+        tu.patternConf = std::max(0, tu.patternConf - 1);
+}
+
+std::optional<Addr>
+TriangelPrefetcher::mrbLookup(Addr trigger)
+{
+    for (auto& e : mrb_) {
+        if (e.valid && e.trigger == trigger) {
+            e.lru = ++mrbTick_;
+            return e.target;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+TriangelPrefetcher::mrbInsert(Addr trigger, Addr target)
+{
+    MrbEntry* victim = &mrb_[0];
+    for (auto& e : mrb_) {
+        if (e.valid && e.trigger == trigger) {
+            e.target = target;
+            e.lru = ++mrbTick_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lru < victim->lru)
+            victim = &e;
+    }
+    *victim = MrbEntry{true, trigger, target, ++mrbTick_};
+}
+
+unsigned
+TriangelPrefetcher::degreeFor(const TuEntry& tu) const
+{
+    if (tu.patternConf >= 12)
+        return cfg_.maxDegree;
+    if (tu.patternConf >= 10)
+        return std::min(cfg_.maxDegree, 2u);
+    return tu.patternConf >= 8 ? 1 : 0;
+}
+
+void
+TriangelPrefetcher::onAccess(const AccessInfo& info)
+{
+    if (info.hit && !info.prefetchHit)
+        return;
+    if (info.prefetchHit)
+        ++stats_.counter("useful_feedback");
+
+    const Addr block = blockNumber(info.addr);
+    ++stats_.counter("train_events");
+    TuEntry& tu = tuFor(info.pc);
+
+    if (!cfg_.ideal) {
+        const auto set = static_cast<std::uint32_t>(
+            mix64(block) % metadataSets());
+        dataSampler_->access(set, block);
+        ++accessesSinceResize_;
+        if (accessesSinceResize_ >= cfg_.resizeInterval)
+            maybeResize(info.cycle);
+    }
+
+    // ---- training: correlate with last (or second-last under lookahead)
+    const Addr trigger = tu.lookahead ? tu.secondLast : tu.last;
+    if (trigger != 0 && trigger != block) {
+        trainConfidence(tu, trigger, block);
+        // Accuracy-based metadata filtering: only confident PCs store.
+        if (tu.reuseConf >= 8) {
+            // MRB write-combining: skip the LLC write when the MRB
+            // already holds this exact correlation.
+            const auto cached = mrbLookup(trigger);
+            if (!cached || *cached != block) {
+                store_->insert(trigger, block);
+                if (!cfg_.ideal)
+                    llc_->metadataAccess(true, info.cycle);
+                mrbInsert(trigger, block);
+            } else {
+                ++stats_.counter("mrb_write_skips");
+            }
+        } else {
+            ++stats_.counter("filtered_inserts");
+        }
+    }
+    tu.secondLast = tu.last;
+    tu.last = block;
+
+    // ---- prefetching: chase the chain up to the PC's degree
+    const unsigned degree = degreeFor(tu);
+    if (degree == 0 && !cfg_.ideal)
+        store_->probeSampled(block); // keep the utility signal alive
+    Addr cur = block;
+    Cycle t = info.cycle;
+    for (unsigned d = 0; d < degree; ++d) {
+        std::optional<Addr> target = mrbLookup(cur);
+        if (target) {
+            ++stats_.counter("mrb_hits");
+        } else {
+            target = store_->lookup(cur);
+            if (!cfg_.ideal)
+                t = llc_->metadataAccess(false, t);
+            else
+                t = t + 20; // dedicated-store latency
+            if (target)
+                mrbInsert(cur, *target);
+        }
+        if (!target)
+            break;
+        prefetch(*target << kBlockShift, info.pc, t);
+        cur = *target;
+    }
+}
+
+void
+TriangelPrefetcher::maybeResize(Cycle now)
+{
+    accessesSinceResize_ = 0;
+
+    // Set dueling over 9 partition sizes: maximise combined data +
+    // trigger hits, each hit weighted equally (§III-B; contrast §IV-D2).
+    // Trigger hits are measured in the always-full sampled sets and
+    // scale with capacity, which is how a scan-resistant store behaves.
+    const unsigned llc_ways = llc_->ways();
+    const double sampled_hits =
+        static_cast<double>(store_->takeSampledHits());
+    double best_score = -1.0;
+    unsigned best_ways = 0;
+    for (unsigned w = 0; w <= cfg_.maxWays; ++w) {
+        const double score =
+            static_cast<double>(dataSampler_->hitsWithin(llc_ways - w)) +
+            sampled_hits * w / cfg_.maxWays;
+        if (score > best_score) {
+            best_score = score;
+            best_ways = w;
+        }
+    }
+    dataSampler_->reset();
+
+    if (best_ways == currentWays_)
+        return;
+
+    ++stats_.counter("resizes");
+    const bool growing = best_ways > currentWays_;
+    currentWays_ = best_ways;
+    // The expensive part: misplaced entries shuffle through the LLC.
+    const std::uint64_t moved = store_->resize(best_ways);
+    stats_.counter("shuffle_blocks") += moved;
+    llc_->metadataBulkTraffic(moved, now);
+    if (growing) {
+        for (std::uint32_t s = 0; s < metadataSets(); ++s)
+            llc_->reclaimReservedWays(physicalSet(s), now);
+    }
+}
+
+} // namespace sl

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Triangel on-chip temporal prefetcher [4] -- the paper's main baseline.
+ *
+ * Improves Triage with (1) per-PC reuse/pattern confidence learned through
+ * a history sampler (HS) and second-chance sampler (SCS), (2) a shared
+ * metadata reuse buffer (MRB) that short-circuits LLC metadata reads, and
+ * (3) set-dueling dynamic partitioning over 9 sizes (0..8 ways) that
+ * rearranges misplaced metadata after each resize -- the costly shuffle
+ * Streamline eliminates. Targets are stored uncompressed (12
+ * correlations/block). The `ideal` flag models Triangel-Ideal (Fig 13a):
+ * a dedicated 1MB store outside the LLC.
+ */
+
+#ifndef SL_TEMPORAL_TRIANGEL_HH
+#define SL_TEMPORAL_TRIANGEL_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/ring_buffer.hh"
+#include "prefetch/prefetcher.hh"
+#include "temporal/pairwise_store.hh"
+#include "temporal/sampler.hh"
+
+namespace sl
+{
+
+/** Configuration for Triangel. */
+struct TriangelConfig
+{
+    unsigned maxDegree = 4;
+    unsigned tuEntries = 256;
+    unsigned maxWays = 8;          //!< 8 of 16 ways = 1MB max for 2MB LLC
+    unsigned resizeInterval = 50'000;
+    unsigned mrbEntries = 32;
+    unsigned hsEntries = 256;
+    unsigned scsEntries = 64;
+    bool ideal = false;            //!< dedicated store, no LLC interaction
+    bool useTpMockingjay = false;  //!< Fig 13c: Triangel + TP-MJ variant
+};
+
+/** The Triangel prefetcher. Attach to an L2; metadata lives in the LLC. */
+class TriangelPrefetcher : public Prefetcher, public PartitionPolicy
+{
+  public:
+    explicit TriangelPrefetcher(const TriangelConfig& cfg = {});
+
+    void attach(Cache* owner, Cache* llc, EventQueue* eq, int core_id,
+                unsigned total_cores) override;
+
+    void onAccess(const AccessInfo& info) override;
+
+    const PartitionPolicy* partitionPolicy() const override
+    {
+        return cfg_.ideal ? nullptr : this;
+    }
+
+    unsigned
+    reservedWays(std::uint32_t set) const override
+    {
+        // Sampled sets stay at full size (utility measurement).
+        if (store_ && store_->sampledSet(set))
+            return cfg_.maxWays;
+        return currentWays_;
+    }
+
+    std::uint64_t storedCorrelations() const { return store_->size(); }
+    unsigned currentWays() const { return currentWays_; }
+
+    /** Fraction of issued prefetches later consumed (for reports). */
+    double
+    observedAccuracy() const
+    {
+        return ratio(stats_.get("useful_feedback"), stats_.get("issued"));
+    }
+
+  private:
+    struct TuEntry
+    {
+        PC pc = 0;
+        bool valid = false;
+        Addr last = 0;       //!< most recent block
+        Addr secondLast = 0; //!< one before (lookahead correlation source)
+        bool lookahead = false;
+        int reuseConf = 8;   //!< 0..15; gate for storing correlations
+        int patternConf = 8; //!< 0..15; sets the prefetch degree
+        unsigned trainCount = 0;
+    };
+
+    /** History-sampler entry: one sampled correlation awaiting its echo. */
+    struct HsEntry
+    {
+        bool valid = false;
+        PC pc = 0;
+        Addr trigger = 0;
+        Addr target = 0;
+    };
+
+    /** MRB entry: a correlation recently read from the LLC. */
+    struct MrbEntry
+    {
+        bool valid = false;
+        Addr trigger = 0;
+        Addr target = 0;
+        std::uint64_t lru = 0;
+    };
+
+    TuEntry& tuFor(PC pc);
+    void trainConfidence(TuEntry& tu, Addr trigger, Addr target);
+    void adaptSampleRate();
+    std::optional<Addr> mrbLookup(Addr trigger);
+    void mrbInsert(Addr trigger, Addr target);
+    unsigned degreeFor(const TuEntry& tu) const;
+    void maybeResize(Cycle now);
+
+    TriangelConfig cfg_;
+    std::optional<PairwiseStore> store_;
+    std::vector<TuEntry> tu_;
+    std::vector<HsEntry> hs_;
+    std::vector<HsEntry> scs_;
+    std::vector<MrbEntry> mrb_;
+    std::uint64_t mrbTick_ = 0;
+
+    std::optional<LruStackSampler> dataSampler_;
+    std::uint64_t accessesSinceResize_ = 0;
+    unsigned currentWays_ = 0;
+
+    // Adaptive HS sampling rate (Triangel's 4-bit per-PC sample rate,
+    // modelled globally): sample 1-in-2^sampleShift_ correlations, tuned
+    // so samples survive long enough to observe cross-iteration reuse.
+    unsigned sampleShift_ = 6;
+    std::uint64_t windowEvents_ = 0;
+    std::uint64_t windowHsHits_ = 0;
+    std::uint64_t windowHsInserts_ = 0;
+};
+
+} // namespace sl
+
+#endif // SL_TEMPORAL_TRIANGEL_HH

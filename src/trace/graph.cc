@@ -1,0 +1,83 @@
+#include "graph.hh"
+
+#include <algorithm>
+
+namespace sl
+{
+
+namespace
+{
+
+/**
+ * Cheap pseudo-permutation of [0, n): multiply by a large odd constant mod
+ * n. Not a true bijection for all n, but spreads the Zipf head across the
+ * address range, which is all the hub-scattering needs.
+ */
+std::uint64_t
+mixPermute(std::uint64_t z, std::uint64_t n)
+{
+    return (z * 2654435761ULL + 0x9e37ULL) % n;
+}
+
+} // namespace
+
+Graph
+makeGraph(GraphKind kind, std::uint32_t nodes, std::uint32_t avg_degree,
+          std::uint64_t seed)
+{
+    Rng rng(seed);
+    Graph g;
+    g.numNodes = nodes;
+
+    // Draw per-node out-degrees.
+    std::vector<std::uint32_t> degrees(nodes);
+    if (kind == GraphKind::Uniform) {
+        for (auto& d : degrees)
+            d = static_cast<std::uint32_t>(rng.below(2 * avg_degree + 1));
+    } else {
+        // Power-law out-degrees: most nodes small, a few hubs.
+        for (auto& d : degrees) {
+            auto z = rng.zipf(64 * avg_degree, 0.7);
+            d = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                z % (16 * avg_degree) + 1, nodes - 1));
+        }
+        // Rescale so the mean lands near avg_degree.
+        std::uint64_t total = 0;
+        for (auto d : degrees)
+            total += d;
+        const double scale =
+            static_cast<double>(avg_degree) * nodes / std::max<std::uint64_t>(total, 1);
+        for (auto& d : degrees) {
+            d = static_cast<std::uint32_t>(
+                std::max(1.0, static_cast<double>(d) * scale));
+        }
+    }
+
+    g.offsets.resize(nodes + 1);
+    g.offsets[0] = 0;
+    for (std::uint32_t v = 0; v < nodes; ++v)
+        g.offsets[v + 1] = g.offsets[v] + degrees[v];
+
+    g.neighbors.resize(g.offsets[nodes]);
+    for (std::uint32_t v = 0; v < nodes; ++v) {
+        for (std::uint32_t i = g.offsets[v]; i < g.offsets[v + 1]; ++i) {
+            std::uint32_t dst;
+            if (kind == GraphKind::Uniform) {
+                dst = static_cast<std::uint32_t>(rng.below(nodes));
+            } else {
+                // Hub-biased destinations: Zipf toward low node ids, then
+                // permuted by a fixed mix so hubs are scattered in memory.
+                auto z = rng.zipf(nodes, 0.9);
+                dst = static_cast<std::uint32_t>(mixPermute(z, nodes));
+            }
+            g.neighbors[i] = dst;
+        }
+        // Sort each adjacency list as GAP's builder does; this gives the
+        // characteristic partially-sorted neighbour scan.
+        std::sort(g.neighbors.begin() + g.offsets[v],
+                  g.neighbors.begin() + g.offsets[v + 1]);
+    }
+    return g;
+}
+
+} // namespace sl

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Synthetic graphs in CSR form for the mini-GAP kernels.
+ *
+ * The GAP benchmark suite [8] runs graph kernels over large real or
+ * synthetic (Kronecker) graphs. We build two families with the same memory
+ * behaviour: uniform-random graphs and power-law ("kron-like") graphs whose
+ * degree distribution follows a Zipf law.
+ */
+
+#ifndef SL_TRACE_GRAPH_HH
+#define SL_TRACE_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace sl
+{
+
+/** Compressed-sparse-row directed graph. */
+struct Graph
+{
+    std::uint32_t numNodes = 0;
+    std::vector<std::uint32_t> offsets;    //!< numNodes + 1 entries
+    std::vector<std::uint32_t> neighbors;  //!< concatenated adjacency lists
+
+    std::uint64_t numEdges() const { return neighbors.size(); }
+
+    std::uint32_t
+    degree(std::uint32_t v) const
+    {
+        return offsets[v + 1] - offsets[v];
+    }
+};
+
+/** Degree-distribution family for synthetic graph construction. */
+enum class GraphKind { Uniform, PowerLaw };
+
+/**
+ * Build a synthetic graph with ~nodes*avg_degree edges. PowerLaw draws
+ * destination endpoints from a Zipf distribution, creating the hub-heavy
+ * adjacency structure of GAP's Kronecker inputs.
+ */
+Graph makeGraph(GraphKind kind, std::uint32_t nodes, std::uint32_t avg_degree,
+                std::uint64_t seed);
+
+} // namespace sl
+
+#endif // SL_TRACE_GRAPH_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Internal declarations of the workload kernel generators. Users go through
+ * workloads.hh; these are exposed for white-box tests.
+ */
+
+#ifndef SL_TRACE_KERNELS_HH
+#define SL_TRACE_KERNELS_HH
+
+#include <cstdint>
+
+#include "trace/trace.hh"
+
+namespace sl
+{
+namespace kernels
+{
+
+// SPEC 2006-like kernels.
+Trace specMcf(double scale, std::uint64_t seed);
+Trace specOmnetpp(double scale, std::uint64_t seed);
+Trace specXalanc(double scale, std::uint64_t seed);
+Trace specSoplex(double scale, std::uint64_t seed);
+Trace specLibquantum(double scale, std::uint64_t seed);
+Trace specBzip2(double scale, std::uint64_t seed);
+Trace specGcc(double scale, std::uint64_t seed);
+Trace specSphinx(double scale, std::uint64_t seed);
+
+// SPEC 2017-like kernels.
+Trace spec17Mcf(double scale, std::uint64_t seed);
+Trace spec17Omnetpp(double scale, std::uint64_t seed);
+Trace spec17Xalanc(double scale, std::uint64_t seed);
+Trace spec17Lbm(double scale, std::uint64_t seed);
+Trace spec17Roms(double scale, std::uint64_t seed);
+Trace spec17Fotonik(double scale, std::uint64_t seed);
+
+// GAP kernels.
+Trace gapBfs(double scale, std::uint64_t seed);
+Trace gapPr(double scale, std::uint64_t seed);
+Trace gapCc(double scale, std::uint64_t seed);
+Trace gapSssp(double scale, std::uint64_t seed);
+Trace gapBc(double scale, std::uint64_t seed);
+Trace gapTc(double scale, std::uint64_t seed);
+
+/** Records generated per unit of scale (kernels aim near this budget). */
+constexpr std::size_t kRecordBudgetPerScale = 1'500'000;
+
+/** Compute the record budget for a given scale (minimum 50K). */
+std::size_t recordBudget(double scale);
+
+/** Finalise a trace: set name/suite and the 20% warmup split. */
+Trace finish(const char* name, Suite suite, TraceRecorder& rec);
+
+} // namespace kernels
+} // namespace sl
+
+#endif // SL_TRACE_KERNELS_HH

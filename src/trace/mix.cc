@@ -1,0 +1,39 @@
+#include "trace/mix.hh"
+
+#include <cstdlib>
+
+#include "common/rng.hh"
+#include "trace/workloads.hh"
+
+namespace sl
+{
+
+std::vector<Mix>
+makeMixes(unsigned cores, unsigned count, std::uint64_t seed)
+{
+    const auto names = workloadNames();
+    Rng rng(seed + cores * 1000003ULL);
+    std::vector<Mix> mixes;
+    mixes.reserve(count);
+    for (unsigned m = 0; m < count; ++m) {
+        Mix mix;
+        mix.reserve(cores);
+        for (unsigned c = 0; c < cores; ++c)
+            mix.push_back(names[rng.below(names.size())]);
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+unsigned
+defaultMixCount()
+{
+    static const unsigned count = [] {
+        if (const char* env = std::getenv("SL_MIX_COUNT"))
+            return static_cast<unsigned>(std::max(1, std::atoi(env)));
+        return 12u;
+    }();
+    return count;
+}
+
+} // namespace sl

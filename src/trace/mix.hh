@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Multi-core workload mixes.
+ *
+ * The paper simulates 150 random mixes of the memory-intensive workloads
+ * per core count (§V-A3). We generate seeded random mixes the same way;
+ * the mix count is a knob (default smaller for laptop-scale runs, override
+ * with SL_MIX_COUNT).
+ */
+
+#ifndef SL_TRACE_MIX_HH
+#define SL_TRACE_MIX_HH
+
+#include <string>
+#include <vector>
+
+namespace sl
+{
+
+/** One multi-core mix: a workload name per core. */
+using Mix = std::vector<std::string>;
+
+/**
+ * Generate @p count seeded random mixes of @p cores workloads drawn from
+ * the full registry (with replacement, as in the paper's methodology).
+ */
+std::vector<Mix> makeMixes(unsigned cores, unsigned count,
+                           std::uint64_t seed = 42);
+
+/** Default mix count: env SL_MIX_COUNT or 12. */
+unsigned defaultMixCount();
+
+} // namespace sl
+
+#endif // SL_TRACE_MIX_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Synthetic workload registry.
+ *
+ * Each workload *executes* a kernel with the access structure of one of the
+ * paper's SPEC 2006 / SPEC 2017 / GAP benchmarks and records its memory
+ * references (see DESIGN.md §1 for the substitution rationale). Workloads
+ * are deterministic given (scale, seed).
+ */
+
+#ifndef SL_TRACE_WORKLOADS_HH
+#define SL_TRACE_WORKLOADS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace sl
+{
+
+/** Descriptor for one synthetic workload. */
+struct WorkloadSpec
+{
+    std::string name;
+    Suite suite;
+    /** Generate the trace; scale multiplies working-set and trace sizes. */
+    std::function<Trace(double scale, std::uint64_t seed)> make;
+};
+
+/** All workloads, in a stable order (SPEC06, SPEC17, GAP). */
+const std::vector<WorkloadSpec>& workloadRegistry();
+
+/** Names only, in registry order. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Fetch (and memoise) a workload trace. Scale defaults to the value of the
+ * SL_TRACE_SCALE environment variable, or 1.0.
+ */
+TracePtr getTrace(const std::string& name, double scale = -1.0,
+                  std::uint64_t seed = 1);
+
+/** The default trace scale (env SL_TRACE_SCALE or 1.0). */
+double defaultTraceScale();
+
+/** Drop all memoised traces (tests use this to bound memory). */
+void clearTraceCache();
+
+} // namespace sl
+
+#endif // SL_TRACE_WORKLOADS_HH

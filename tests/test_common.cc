@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the common substrate: types, RNG, hashing, stats, ring
+ * buffer, event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/event.hh"
+#include "common/hash.hh"
+#include "common/ring_buffer.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sl
+{
+namespace
+{
+
+TEST(Types, BlockMath)
+{
+    EXPECT_EQ(blockAlign(0x12345), 0x12340u);
+    EXPECT_EQ(blockNumber(0x12345), 0x48du);
+    EXPECT_EQ(pageNumber(0x12345), 0x12u);
+    EXPECT_EQ(blockOffsetInPage(0x1000), 0u);
+    EXPECT_EQ(blockOffsetInPage(0x1FC0), 63u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(7), b(8);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(1);
+    for (int i = 0; i < 10'000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(2);
+    double sum = 0;
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, ZipfSkewsLow)
+{
+    Rng r(3);
+    std::uint64_t low = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i)
+        low += r.zipf(1000, 0.8) < 100;
+    // With strong skew, far more than 10% of draws land in the lowest 10%.
+    EXPECT_GT(low, static_cast<std::uint64_t>(n) / 5);
+}
+
+TEST(Hash, Fold)
+{
+    EXPECT_EQ(foldXor(0, 10), 0u);
+    EXPECT_LT(foldXor(0xdeadbeefcafeULL, 10), 1024u);
+    EXPECT_EQ(foldXor(0x3ff, 10), 0x3ffu);
+}
+
+TEST(Hash, TriggerHashIs10Bits)
+{
+    for (Addr a = 0; a < 4096; ++a)
+        EXPECT_LT(hashedTrigger10(a), 1024);
+}
+
+TEST(Hash, PartialTagWidth)
+{
+    for (Addr a = 1; a < 4096; a += 7)
+        EXPECT_LT(partialTriggerTag(a, 6), 64);
+}
+
+TEST(Hash, SpreadsValues)
+{
+    std::set<std::uint16_t> seen;
+    for (Addr a = 0; a < 4096; ++a)
+        seen.insert(hashedTrigger10(a));
+    // 4096 values into 1024 buckets should cover most buckets.
+    EXPECT_GT(seen.size(), 900u);
+}
+
+TEST(Stats, CountersAndRatios)
+{
+    StatGroup g("test");
+    ++g.counter("hits");
+    g.counter("hits") += 4;
+    EXPECT_EQ(g.get("hits"), 5u);
+    EXPECT_EQ(g.get("nonexistent"), 0u);
+    EXPECT_DOUBLE_EQ(ratio(1, 2), 0.5);
+    EXPECT_DOUBLE_EQ(ratio(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(pct(1, 4), 25.0);
+    g.resetAll();
+    EXPECT_EQ(g.get("hits"), 0u);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(RingBuffer, FifoOrder)
+{
+    RingBuffer<int> rb(3);
+    EXPECT_TRUE(rb.empty());
+    rb.push(1);
+    rb.push(2);
+    rb.push(3);
+    EXPECT_TRUE(rb.full());
+    EXPECT_EQ(rb.pop(), 1);
+    rb.push(4);
+    EXPECT_EQ(rb.at(0), 2);
+    EXPECT_EQ(rb.at(2), 4);
+    EXPECT_EQ(rb.pop(), 2);
+    EXPECT_EQ(rb.pop(), 3);
+    EXPECT_EQ(rb.pop(), 4);
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, PushEvict)
+{
+    RingBuffer<int> rb(2);
+    rb.pushEvict(1);
+    rb.pushEvict(2);
+    rb.pushEvict(3);
+    EXPECT_EQ(rb.size(), 2u);
+    EXPECT_EQ(rb.at(0), 2);
+    EXPECT_EQ(rb.at(1), 3);
+}
+
+TEST(EventQueue, RunsInCycleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(10, [&] { order.push_back(3); });
+    EXPECT_EQ(eq.nextCycle(), 5u);
+    eq.runUntil(4);
+    EXPECT_TRUE(order.empty());
+    eq.runUntil(10);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 3);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextCycle(), kNoCycle);
+}
+
+TEST(EventQueue, SameCycleReschedulingRuns)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&] {
+        ++count;
+        eq.schedule(1, [&] { ++count; });
+    });
+    eq.runUntil(1);
+    EXPECT_EQ(count, 2);
+}
+
+} // namespace
+} // namespace sl

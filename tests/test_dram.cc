@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the DRAM timing model: row-buffer states, channel mapping,
+ * bandwidth scaling, and write handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram.hh"
+#include "test_util.hh"
+
+namespace sl
+{
+namespace
+{
+
+using test::drain;
+using test::RecordingClient;
+
+struct DramFixture : ::testing::Test
+{
+    DramFixture()
+    {
+        params.channels = 1;
+        params.ranksPerChannel = 1;
+        params.controllerNs = 0.0; // isolate bank/bus timing in tests
+    }
+
+    MemRequest*
+    read(Addr addr, RequestClient* c)
+    {
+        auto* r = new MemRequest;
+        r->addr = addr;
+        r->kind = ReqKind::DemandLoad;
+        r->client = c;
+        return r;
+    }
+
+    EventQueue eq;
+    DramParams params;
+    RecordingClient client;
+};
+
+TEST_F(DramFixture, RowMissThenRowHit)
+{
+    Dram dram(params, eq);
+    dram.access(read(0x0, &client), 0);
+    drain(eq);
+    dram.access(read(0x400, &client), 100'000); // same 8KB row
+    drain(eq);
+    ASSERT_EQ(client.completions.size(), 2u);
+    const Cycle first = client.completions[0].second;
+    const Cycle second = client.completions[1].second - 100'000;
+    // First access opens the row (tRCD+tCAS); second is a row hit (tCAS).
+    EXPECT_GT(first, second);
+    EXPECT_EQ(dram.stats().get("row_misses"), 1u);
+    EXPECT_EQ(dram.stats().get("row_hits"), 1u);
+}
+
+TEST_F(DramFixture, RowConflictCostsMost)
+{
+    Dram dram(params, eq);
+    dram.access(read(0x0, &client), 0);
+    drain(eq);
+    // Same bank, different row: one full bank rotation away (128-block
+    // rows x 8 banks x 64B blocks = 64KB).
+    const Addr other_row = Addr{128} * 8 * kBlockBytes;
+    dram.access(read(other_row, &client), 100'000);
+    drain(eq);
+    EXPECT_EQ(dram.stats().get("row_conflicts"), 1u);
+    const Cycle miss = client.completions[0].second;
+    const Cycle conflict = client.completions[1].second - 100'000;
+    EXPECT_GT(conflict, miss);
+}
+
+TEST_F(DramFixture, ChannelBusSerialises)
+{
+    Dram dram(params, eq);
+    // Two same-cycle reads to different banks on one channel: the data
+    // bursts share the bus.
+    dram.access(read(0x0, &client), 0);
+    dram.access(read(kBlockBytes, &client), 0);
+    drain(eq);
+    ASSERT_EQ(client.completions.size(), 2u);
+    const Cycle gap = client.completions[1].second >
+                              client.completions[0].second
+                          ? client.completions[1].second -
+                                client.completions[0].second
+                          : client.completions[0].second -
+                                client.completions[1].second;
+    EXPECT_GE(gap, dram.burstCycles());
+}
+
+TEST_F(DramFixture, MoreChannelsMoreParallel)
+{
+    params.channels = 4;
+    Dram dram(params, eq);
+    for (unsigned i = 0; i < 4; ++i)
+        dram.access(read(i * kBlockBytes, &client), 0);
+    drain(eq);
+    ASSERT_EQ(client.completions.size(), 4u);
+    // All four land on distinct channels: identical completion times.
+    for (unsigned i = 1; i < 4; ++i)
+        EXPECT_EQ(client.completions[i].second,
+                  client.completions[0].second);
+}
+
+TEST_F(DramFixture, BandwidthKnobScalesBurst)
+{
+    Dram fast(params, eq);
+    params.transferMTs = 800;
+    Dram slow(params, eq);
+    EXPECT_EQ(fast.burstCycles() * 4, slow.burstCycles());
+    EXPECT_GT(fast.peakBytesPerCycle(), slow.peakBytesPerCycle());
+}
+
+TEST_F(DramFixture, WritesConsumeBandwidthSilently)
+{
+    Dram dram(params, eq);
+    auto* wb = new MemRequest;
+    wb->addr = 0x9000;
+    wb->kind = ReqKind::Writeback;
+    dram.access(wb, 0);
+    drain(eq);
+    EXPECT_EQ(dram.stats().get("writes"), 1u);
+    EXPECT_EQ(dram.stats().get("bytes"), kBlockBytes);
+    EXPECT_TRUE(client.completions.empty());
+}
+
+TEST_F(DramFixture, ControllerLatencyAdds)
+{
+    Dram base(params, eq);
+    params.controllerNs = 30.0;
+    Dram slow(params, eq);
+    RecordingClient c1, c2;
+    base.access(read(0x0, &c1), 0);
+    slow.access(read(0x0, &c2), 0);
+    drain(eq);
+    ASSERT_EQ(c1.completions.size(), 1u);
+    ASSERT_EQ(c2.completions.size(), 1u);
+    EXPECT_EQ(c2.completions[0].second - c1.completions[0].second, 120u);
+}
+
+} // namespace
+} // namespace sl

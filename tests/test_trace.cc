@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the trace substrate: record format, recorder, workload
+ * registry, synthetic graphs, and mix generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "trace/graph.hh"
+#include "trace/kernels.hh"
+#include "trace/mix.hh"
+#include "trace/trace.hh"
+#include "trace/workloads.hh"
+
+namespace sl
+{
+namespace
+{
+
+TEST(TraceRecord, CompactAndFlagged)
+{
+    TraceRecorder rec;
+    rec.load(1, 0x1000, 0);
+    rec.loadDep(2, 0x2000, 1);
+    rec.store(3, 0x3000, 2);
+    auto records = rec.take();
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_FALSE(records[0].dependsOnPrev());
+    EXPECT_TRUE(records[1].dependsOnPrev());
+    EXPECT_EQ(records[2].type, AccessType::Store);
+    // Bubble expansion: kernels request relative work; the recorder
+    // expands to instruction counts (4 + 8 per unit).
+    EXPECT_EQ(records[0].bubbles, 4);
+    EXPECT_EQ(records[1].bubbles, 12);
+    EXPECT_EQ(records[2].bubbles, 20);
+}
+
+TEST(TraceRecord, InstructionCount)
+{
+    TraceRecorder rec;
+    rec.load(1, 0x1000, 0); // 4 bubbles + 1
+    rec.load(1, 0x1040, 1); // 12 bubbles + 1
+    Trace t;
+    t.records = rec.take();
+    EXPECT_EQ(t.instructionCount(), 4u + 1 + 12 + 1);
+}
+
+TEST(Workloads, RegistryComplete)
+{
+    const auto& reg = workloadRegistry();
+    EXPECT_EQ(reg.size(), 20u);
+    unsigned spec06 = 0, spec17 = 0, gap = 0;
+    for (const auto& w : reg) {
+        switch (w.suite) {
+          case Suite::Spec06: ++spec06; break;
+          case Suite::Spec17: ++spec17; break;
+          case Suite::Gap: ++gap; break;
+        }
+    }
+    EXPECT_EQ(spec06, 8u);
+    EXPECT_EQ(spec17, 6u);
+    EXPECT_EQ(gap, 6u);
+}
+
+TEST(Workloads, NamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto& n : workloadNames())
+        EXPECT_TRUE(names.insert(n).second) << n;
+}
+
+TEST(Workloads, UnknownNameThrows)
+{
+    EXPECT_THROW(getTrace("not_a_workload", 0.05),
+                 std::invalid_argument);
+}
+
+TEST(Workloads, Deterministic)
+{
+    clearTraceCache();
+    auto a = getTrace("spec06_gcc", 0.05, 3);
+    clearTraceCache();
+    auto b = getTrace("spec06_gcc", 0.05, 3);
+    ASSERT_EQ(a->records.size(), b->records.size());
+    for (std::size_t i = 0; i < a->records.size(); i += 97) {
+        EXPECT_EQ(a->records[i].addr, b->records[i].addr);
+        EXPECT_EQ(a->records[i].pc, b->records[i].pc);
+    }
+    clearTraceCache();
+}
+
+TEST(Workloads, SeedChangesTrace)
+{
+    clearTraceCache();
+    auto a = getTrace("spec06_gcc", 0.05, 3);
+    auto b = getTrace("spec06_gcc", 0.05, 4);
+    std::size_t diff = 0;
+    const std::size_t n = std::min(a->records.size(), b->records.size());
+    for (std::size_t i = 0; i < n; i += 13)
+        diff += a->records[i].addr != b->records[i].addr;
+    EXPECT_GT(diff, 0u);
+    clearTraceCache();
+}
+
+TEST(Workloads, Memoised)
+{
+    clearTraceCache();
+    auto a = getTrace("spec06_bzip2", 0.05, 1);
+    auto b = getTrace("spec06_bzip2", 0.05, 1);
+    EXPECT_EQ(a.get(), b.get());
+    clearTraceCache();
+}
+
+TEST(Workloads, WarmupIsTwentyPercent)
+{
+    clearTraceCache();
+    auto t = getTrace("spec06_libquantum", 0.05);
+    EXPECT_NEAR(static_cast<double>(t->warmupRecords) / t->records.size(),
+                0.2, 0.01);
+    clearTraceCache();
+}
+
+TEST(Workloads, EveryKernelMeetsBudget)
+{
+    clearTraceCache();
+    const std::size_t budget = kernels::recordBudget(0.05);
+    for (const auto& w : workloadRegistry()) {
+        auto t = getTrace(w.name, 0.05);
+        EXPECT_GE(t->records.size(), budget) << w.name;
+        EXPECT_LE(t->records.size(), budget * 2 + 64) << w.name;
+        EXPECT_EQ(t->name, w.name);
+        EXPECT_EQ(t->suite, w.suite);
+    }
+    clearTraceCache();
+}
+
+TEST(Workloads, PointerChasesAreDependent)
+{
+    clearTraceCache();
+    auto t = getTrace("spec06_mcf", 0.05);
+    std::size_t dep = 0;
+    for (const auto& r : t->records)
+        dep += r.dependsOnPrev();
+    EXPECT_GT(dep, t->records.size() / 20);
+    clearTraceCache();
+}
+
+TEST(Graph, CsrWellFormed)
+{
+    Graph g = makeGraph(GraphKind::PowerLaw, 2000, 6, 5);
+    EXPECT_EQ(g.numNodes, 2000u);
+    ASSERT_EQ(g.offsets.size(), 2001u);
+    EXPECT_EQ(g.offsets[0], 0u);
+    for (std::uint32_t v = 0; v < g.numNodes; ++v) {
+        EXPECT_LE(g.offsets[v], g.offsets[v + 1]);
+        for (std::uint32_t i = g.offsets[v]; i < g.offsets[v + 1]; ++i)
+            EXPECT_LT(g.neighbors[i], g.numNodes);
+    }
+    EXPECT_EQ(g.offsets.back(), g.numEdges());
+}
+
+TEST(Graph, PowerLawHasHubs)
+{
+    Graph g = makeGraph(GraphKind::PowerLaw, 4000, 6, 5);
+    // In-degree concentration: the top 1% of nodes should receive far
+    // more than 1% of the edges.
+    std::vector<std::uint32_t> indeg(g.numNodes, 0);
+    for (auto u : g.neighbors)
+        ++indeg[u];
+    std::sort(indeg.rbegin(), indeg.rend());
+    std::uint64_t top = 0;
+    for (std::uint32_t i = 0; i < g.numNodes / 100; ++i)
+        top += indeg[i];
+    EXPECT_GT(top, g.numEdges() / 10);
+}
+
+TEST(Graph, UniformIsFlat)
+{
+    Graph g = makeGraph(GraphKind::Uniform, 4000, 6, 5);
+    std::vector<std::uint32_t> indeg(g.numNodes, 0);
+    for (auto u : g.neighbors)
+        ++indeg[u];
+    std::sort(indeg.rbegin(), indeg.rend());
+    std::uint64_t top = 0;
+    for (std::uint32_t i = 0; i < g.numNodes / 100; ++i)
+        top += indeg[i];
+    EXPECT_LT(top, g.numEdges() / 10);
+}
+
+TEST(Graph, AdjacencySorted)
+{
+    Graph g = makeGraph(GraphKind::PowerLaw, 1000, 8, 9);
+    for (std::uint32_t v = 0; v < g.numNodes; ++v) {
+        for (std::uint32_t i = g.offsets[v] + 1; i < g.offsets[v + 1];
+             ++i) {
+            EXPECT_LE(g.neighbors[i - 1], g.neighbors[i]);
+        }
+    }
+}
+
+TEST(Mix, ShapeAndDeterminism)
+{
+    auto mixes = makeMixes(4, 10, 99);
+    ASSERT_EQ(mixes.size(), 10u);
+    for (const auto& m : mixes)
+        EXPECT_EQ(m.size(), 4u);
+    auto again = makeMixes(4, 10, 99);
+    EXPECT_EQ(mixes, again);
+    auto other = makeMixes(4, 10, 100);
+    EXPECT_NE(mixes, other);
+}
+
+TEST(Mix, DrawsFromRegistry)
+{
+    const auto names = workloadNames();
+    std::set<std::string> valid(names.begin(), names.end());
+    for (const auto& m : makeMixes(8, 20, 1)) {
+        for (const auto& w : m)
+            EXPECT_TRUE(valid.count(w)) << w;
+    }
+}
+
+TEST(Suite, Names)
+{
+    EXPECT_STREQ(suiteName(Suite::Spec06), "SPEC06");
+    EXPECT_STREQ(suiteName(Suite::Spec17), "SPEC17");
+    EXPECT_STREQ(suiteName(Suite::Gap), "GAP");
+}
+
+} // namespace
+} // namespace sl
