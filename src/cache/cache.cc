@@ -1,22 +1,37 @@
 #include "cache/cache.hh"
 
-#include <cassert>
-
 namespace sl
 {
 
 Cache::Cache(const CacheParams& params, EventQueue& eq, MemLevel* next)
     : params_(params), eq_(eq), next_(next),
       numSets_(static_cast<std::uint32_t>(
-          params.sizeBytes / kBlockBytes / params.ways)),
+          params.ways == 0
+              ? 0
+              : params.sizeBytes / kBlockBytes / params.ways)),
       blocks_(static_cast<std::size_t>(numSets_) * params.ways),
       stats_(params.name)
 {
-    assert(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0 &&
-           "cache set count must be a power of two");
+    const char* comp = params_.name.empty() ? "cache" : params_.name.c_str();
+    SL_REQUIRE(params_.ways > 0, comp, "cache needs at least one way");
+    SL_REQUIRE(params_.latency > 0, comp, "cache latency must be nonzero");
+    SL_REQUIRE(params_.mshrs > 0, comp, "cache needs at least one MSHR");
+    SL_REQUIRE(params_.ports > 0, comp, "cache needs at least one port");
+    SL_REQUIRE(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0, comp,
+               "cache set count must be a nonzero power of two, got "
+                   << numSets_ << " (size " << params_.sizeBytes << "B / "
+                   << params_.ways << " ways)");
 }
 
-Cache::~Cache() = default;
+Cache::~Cache()
+{
+    // Requests are owned by the hierarchy until completion; anything
+    // still parked in an MSHR waiter list at teardown is ours to free.
+    for (auto& [addr, m] : mshrs_) {
+        for (MemRequest* w : m.waiters)
+            delete w;
+    }
+}
 
 std::uint32_t
 Cache::setIndex(Addr addr) const
@@ -209,7 +224,16 @@ Cache::handleAt(MemRequest* req, Cycle start)
         if (!req->client)
             delete req; // locally originated prefetch has no waiter
     }
-    assert(next_ && "missing downstream level");
+    SL_CHECK_AT(next_ != nullptr, params_.name.c_str(), start,
+                "miss with no downstream level to forward to");
+    if (faults_ && faults_->loseRequest()) {
+        // Injected fault: the downstream message vanishes (hung
+        // controller). The MSHR stays allocated with nothing in flight —
+        // exactly the state the auditor and watchdog exist to catch.
+        delete down;
+        return;
+    }
+    ++outstandingDownstream_;
     const Cycle send = start + params_.latency;
     eq_.schedule(send, [this, down, send] { next_->access(down, send); });
 }
@@ -218,7 +242,12 @@ void
 Cache::requestDone(const MemRequest& req, Cycle now)
 {
     auto it = mshrs_.find(req.addr);
-    assert(it != mshrs_.end() && "fill without MSHR");
+    SL_CHECK_AT(it != mshrs_.end(), params_.name.c_str(), now,
+                "fill for block 0x" << std::hex << req.addr << std::dec
+                                    << " without a matching MSHR");
+    SL_CHECK_AT(outstandingDownstream_ > 0, params_.name.c_str(), now,
+                "fill arrived with no downstream request in flight");
+    --outstandingDownstream_;
     Mshr m = std::move(it->second);
     mshrs_.erase(it);
 
@@ -229,8 +258,17 @@ Cache::requestDone(const MemRequest& req, Cycle now)
     }
 
     const bool mark_prefetched = m.prefetchOnly && !m.demandMerged;
-    installFill(req.addr, mark_prefetched, m.prefetchOriginHere, store,
-                now);
+    // Injected fault: a prefetch-only fill may be dropped on the floor.
+    // Demand-serving fills are never dropped — prefetches are hints,
+    // demand correctness is not negotiable. Waiters (upstream prefetch
+    // clients) still get their responses so no state leaks.
+    const bool drop_fill = mark_prefetched && faults_ &&
+                           faults_->dropPrefetchFill();
+    if (drop_fill)
+        ++stats_.counter("prefetch_fills_dropped");
+    else
+        installFill(req.addr, mark_prefetched, m.prefetchOriginHere, store,
+                    now);
     if (m.prefetchOnly && m.demandMerged && m.prefetchOriginHere) {
         // The prefetch fetched data a demand wanted before arrival.
         ++stats_.counter("prefetch_useful");
@@ -327,6 +365,44 @@ Cache::metadataBulkTraffic(std::uint64_t blocks, Cycle now)
     if (portTime_ < now)
         portTime_ = now;
     portTime_ += busy;
+}
+
+void
+Cache::audit(Cycle now) const
+{
+    const char* comp = params_.name.c_str();
+    SL_CHECK_AT(mshrs_.size() <= params_.mshrs, comp, now,
+                "MSHR occupancy " << mshrs_.size() << " exceeds the "
+                                  << params_.mshrs << " configured MSHRs");
+    SL_CHECK_AT(mshrs_.size() == outstandingDownstream_, comp, now,
+                "MSHR/in-flight mismatch: " << mshrs_.size()
+                    << " MSHRs allocated but " << outstandingDownstream_
+                    << " downstream requests in flight (a miss request "
+                       "was lost or double-answered)");
+    for (const auto& [addr, m] : mshrs_) {
+        SL_CHECK_AT(addr == blockAlign(addr) && addr == m.addr, comp, now,
+                    "corrupt MSHR key 0x" << std::hex << addr << std::dec);
+        for (const MemRequest* w : m.waiters)
+            SL_CHECK_AT(w != nullptr && w->addr == addr, comp, now,
+                        "MSHR waiter does not match its block");
+    }
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        const Block* row =
+            &blocks_[static_cast<std::size_t>(set) * params_.ways];
+        for (unsigned w = 0; w < params_.ways; ++w) {
+            if (!row[w].valid)
+                continue;
+            SL_CHECK_AT(setIndex(row[w].tag << kBlockShift) == set, comp,
+                        now,
+                        "block tag 0x" << std::hex << row[w].tag
+                                       << std::dec << " homed to set "
+                                       << setIndex(row[w].tag
+                                                   << kBlockShift)
+                                       << " found in set " << set);
+            SL_CHECK_AT(row[w].lru <= lruTick_, comp, now,
+                        "LRU stamp from the future");
+        }
+    }
 }
 
 void

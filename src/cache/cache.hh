@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/event.hh"
+#include "common/fault.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cache/request.hh"
@@ -104,6 +105,9 @@ class Cache : public MemLevel, public RequestClient
     /** Install a metadata partition policy (LLC only). */
     void setPartition(const PartitionPolicy* p) { partition_ = p; }
 
+    /** Attach the system's fault injector (null = no faults). */
+    void setFaultInjector(FaultInjector* f) { faults_ = f; }
+
     /**
      * Issue a prefetch into this cache for @p addr. Dropped when already
      * resident or in flight. @p now may be in the future (scheduled).
@@ -140,6 +144,22 @@ class Cache : public MemLevel, public RequestClient
     /** True when no MSHR is outstanding (used for drain checks in tests). */
     bool idle() const { return mshrs_.empty(); }
 
+    /** Outstanding MSHR entries (diagnostic snapshots). */
+    std::size_t mshrCount() const { return mshrs_.size(); }
+
+    /** Configured MSHR capacity (diagnostic snapshots). */
+    unsigned mshrLimit() const { return params_.mshrs; }
+
+    /**
+     * Audit this cache's structural invariants; throws SimError on
+     * violation. Checks: MSHR occupancy within params.mshrs and matching
+     * the count of downstream requests in flight (a mismatch means a
+     * request was lost — the hierarchy would hang silently); every MSHR
+     * key block-aligned; every valid block's tag homed to its set.
+     * O(blocks); called periodically by the InvariantAuditor.
+     */
+    void audit(Cycle now) const;
+
   private:
     struct Block
     {
@@ -174,6 +194,11 @@ class Cache : public MemLevel, public RequestClient
     MemLevel* next_;
     CacheListener* listener_ = nullptr;
     const PartitionPolicy* partition_ = nullptr;
+    FaultInjector* faults_ = nullptr;
+
+    /** Downstream miss requests sent but not yet answered; must equal
+     *  mshrs_.size() whenever the event queue is drained. */
+    std::size_t outstandingDownstream_ = 0;
 
     std::uint32_t numSets_;
     std::vector<Block> blocks_; //!< numSets_ * ways, row-major

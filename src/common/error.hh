@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Recoverable simulation errors and always-on invariant checks.
+ *
+ * The default RelWithDebInfo build defines NDEBUG, which compiles every
+ * `assert` out of the load-bearing structures (RingBuffer, Cache MSHRs,
+ * EventQueue). A corrupted stream entry or stalled MSHR then silently
+ * skews IPC/coverage numbers instead of failing loudly. SL_CHECK and
+ * SL_REQUIRE stay live in *all* build types and throw SimError, which
+ * carries enough context (component, cycle, source location, failed
+ * condition) for the runner to serialize a repro bundle and for a human
+ * to start debugging.
+ *
+ * Policy (see README "SL_CHECK vs assert"):
+ *  - SL_REQUIRE: precondition / configuration validation. Use at
+ *    construction and API boundaries; cost is irrelevant.
+ *  - SL_CHECK / SL_CHECK_AT: runtime invariants on simulation state.
+ *    Use wherever a violation would corrupt results; the predicate must
+ *    be O(1). SL_CHECK_AT additionally records the simulated cycle.
+ *  - assert: only for redundant sanity checks whose failure is already
+ *    impossible if the SL_CHECKs upstream passed (debug-build extras).
+ */
+
+#ifndef SL_COMMON_ERROR_HH
+#define SL_COMMON_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "types.hh"
+
+namespace sl
+{
+
+/** Sentinel cycle for errors raised outside simulated time. */
+constexpr Cycle kNoErrorCycle = ~Cycle{0};
+
+/**
+ * A detected simulation-integrity violation. Thrown by SL_CHECK /
+ * SL_REQUIRE and by the invariant auditor and progress watchdog; callers
+ * that drive whole runs (Runner) catch it to emit a repro bundle.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(std::string component, Cycle cycle, std::string detail,
+             std::string what)
+        : std::runtime_error(std::move(what)),
+          component_(std::move(component)), cycle_(cycle),
+          detail_(std::move(detail))
+    {
+    }
+
+    /** Component that detected the violation (e.g. "l2_0", "event_queue"). */
+    const std::string& component() const { return component_; }
+
+    /** Simulated cycle at detection, or kNoErrorCycle if outside time. */
+    Cycle cycle() const { return cycle_; }
+
+    /** The failure message without the component/cycle/location prefix. */
+    const std::string& detail() const { return detail_; }
+
+  private:
+    std::string component_;
+    Cycle cycle_;
+    std::string detail_;
+};
+
+namespace detail
+{
+
+[[noreturn]] inline void
+raiseSimError(const char* component, Cycle cycle, const std::string& msg,
+              const char* cond, const char* file, int line)
+{
+    std::ostringstream os;
+    os << "[" << component;
+    if (cycle != kNoErrorCycle)
+        os << " @" << cycle;
+    os << "] " << msg << " (check `" << cond << "` failed at " << file
+       << ":" << line << ")";
+    throw SimError(component, cycle, msg, os.str());
+}
+
+} // namespace detail
+
+} // namespace sl
+
+/** Runtime invariant; live in every build type. Throws sl::SimError. */
+#define SL_CHECK(cond, component, msg)                                     \
+    do {                                                                   \
+        if (!(cond)) [[unlikely]] {                                        \
+            std::ostringstream sl_check_os_;                               \
+            sl_check_os_ << msg;                                           \
+            ::sl::detail::raiseSimError(component, ::sl::kNoErrorCycle,    \
+                                        sl_check_os_.str(), #cond,         \
+                                        __FILE__, __LINE__);               \
+        }                                                                  \
+    } while (0)
+
+/** Runtime invariant with simulated-cycle context. */
+#define SL_CHECK_AT(cond, component, cycle, msg)                           \
+    do {                                                                   \
+        if (!(cond)) [[unlikely]] {                                        \
+            std::ostringstream sl_check_os_;                               \
+            sl_check_os_ << msg;                                           \
+            ::sl::detail::raiseSimError(component,                         \
+                                        static_cast<::sl::Cycle>(cycle),   \
+                                        sl_check_os_.str(), #cond,         \
+                                        __FILE__, __LINE__);               \
+        }                                                                  \
+    } while (0)
+
+/** Precondition / configuration validation; live in every build type. */
+#define SL_REQUIRE(cond, component, msg) SL_CHECK(cond, component, msg)
+
+#endif // SL_COMMON_ERROR_HH

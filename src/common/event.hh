@@ -4,19 +4,22 @@
  *
  * Components schedule callbacks at absolute cycles; the system loop
  * interleaves event execution with per-cycle core stepping and fast-forwards
- * across idle gaps.
+ * across idle gaps. Simulated time is monotonic: scheduling into the past
+ * is rejected via SL_CHECK (it would silently reorder causally dependent
+ * events), and the auditor verifies the head never precedes current time.
  */
 
 #ifndef SL_COMMON_EVENT_HH
 #define SL_COMMON_EVENT_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
 #include <utility>
 #include <vector>
 
+#include "error.hh"
 #include "types.hh"
 
 namespace sl
@@ -31,32 +34,65 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
-    /** Schedule @p cb to run at cycle @p when. */
+    /**
+     * Schedule @p cb to run at cycle @p when. @p when must not precede
+     * the cycle currently being drained (monotonic simulated time).
+     */
     void
     schedule(Cycle when, Callback cb)
     {
-        heap_.push(Event{when, seq_++, std::move(cb)});
+        SL_CHECK_AT(when >= now_, "event_queue", now_,
+                    "event scheduled into the past (when=" << when << ")");
+        heap_.push_back(Event{when, seq_++, std::move(cb)});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
     }
 
     bool empty() const { return heap_.empty(); }
+
+    /** Pending events (diagnostic snapshots). */
+    std::size_t size() const { return heap_.size(); }
 
     /** Cycle of the earliest pending event, or kNoCycle. */
     Cycle
     nextCycle() const
     {
-        return heap_.empty() ? kNoCycle : heap_.top().when;
+        return heap_.empty() ? kNoCycle : heap_.front().when;
+    }
+
+    /** Latest cycle runUntil has drained up to. */
+    Cycle now() const { return now_; }
+
+    /**
+     * Rebase simulated time to zero for a fresh logical run (unit tests
+     * drive several independent simulations through one queue). Only
+     * legal once every pending event has drained — rebasing with events
+     * in flight would reorder them against new ones.
+     */
+    void
+    reset()
+    {
+        SL_CHECK(heap_.empty(), "event_queue",
+                 "reset with " << heap_.size() << " events still pending");
+        now_ = 0;
+        seq_ = 0;
     }
 
     /** Run every event scheduled at or before @p now. */
     void
     runUntil(Cycle now)
     {
-        while (!heap_.empty() && heap_.top().when <= now) {
-            // Move the callback out before popping so it can reschedule.
-            Callback cb = std::move(const_cast<Event&>(heap_.top()).cb);
-            heap_.pop();
-            cb();
+        while (!heap_.empty() && heap_.front().when <= now) {
+            // Extract the event before running it so the callback can
+            // reschedule (including at the same cycle).
+            std::pop_heap(heap_.begin(), heap_.end(), Later{});
+            Event ev = std::move(heap_.back());
+            heap_.pop_back();
+            if (ev.when > now_)
+                now_ = ev.when;
+            ev.cb();
         }
+        if (now > now_)
+            now_ = now;
     }
 
   private:
@@ -65,16 +101,21 @@ class EventQueue
         Cycle when;
         std::uint64_t seq;
         Callback cb;
+    };
 
+    /** Ordering for std::*_heap: true when @p a runs after @p b. */
+    struct Later
+    {
         bool
-        operator>(const Event& o) const
+        operator()(const Event& a, const Event& b) const
         {
-            return when != o.when ? when > o.when : seq > o.seq;
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    std::vector<Event> heap_;
     std::uint64_t seq_ = 0;
+    Cycle now_ = 0;
 };
 
 } // namespace sl

@@ -2,14 +2,19 @@
  * @file
  * Fixed-capacity ring buffer used for ROBs, history queues, and the
  * per-PC stream metadata buffers.
+ *
+ * Misuse (push on full, pop/at on empty or out of range) fails loudly via
+ * SL_CHECK in *all* build types: these buffers back simulation state, and
+ * an out-of-range read under NDEBUG would silently corrupt results.
  */
 
 #ifndef SL_COMMON_RING_BUFFER_HH
 #define SL_COMMON_RING_BUFFER_HH
 
-#include <cassert>
 #include <cstddef>
 #include <vector>
+
+#include "error.hh"
 
 namespace sl
 {
@@ -25,7 +30,9 @@ class RingBuffer
     explicit RingBuffer(std::size_t capacity)
         : storage_(capacity), capacity_(capacity)
     {
-        assert(capacity > 0);
+        SL_REQUIRE(capacity > 0, "ring_buffer",
+                   "capacity must be nonzero; a zero-capacity ring buffer "
+                   "can hold nothing and every push would overflow");
     }
 
     bool empty() const { return size_ == 0; }
@@ -33,11 +40,12 @@ class RingBuffer
     std::size_t size() const { return size_; }
     std::size_t capacity() const { return capacity_; }
 
-    /** Append; caller must ensure the buffer is not full. */
+    /** Append; the buffer must not be full. */
     void
     push(T v)
     {
-        assert(!full());
+        SL_CHECK(!full(), "ring_buffer",
+                 "push on a full buffer (capacity " << capacity_ << ")");
         storage_[(head_ + size_) % capacity_] = std::move(v);
         ++size_;
     }
@@ -55,27 +63,40 @@ class RingBuffer
     T
     pop()
     {
-        assert(!empty());
+        SL_CHECK(!empty(), "ring_buffer", "pop on an empty buffer");
         T v = std::move(storage_[head_]);
         head_ = (head_ + 1) % capacity_;
         --size_;
         return v;
     }
 
-    T& front() { assert(!empty()); return storage_[head_]; }
-    const T& front() const { assert(!empty()); return storage_[head_]; }
+    T&
+    front()
+    {
+        SL_CHECK(!empty(), "ring_buffer", "front on an empty buffer");
+        return storage_[head_];
+    }
+
+    const T&
+    front() const
+    {
+        SL_CHECK(!empty(), "ring_buffer", "front on an empty buffer");
+        return storage_[head_];
+    }
 
     T&
     at(std::size_t i)
     {
-        assert(i < size_);
+        SL_CHECK(i < size_, "ring_buffer",
+                 "index " << i << " out of range (size " << size_ << ")");
         return storage_[(head_ + i) % capacity_];
     }
 
     const T&
     at(std::size_t i) const
     {
-        assert(i < size_);
+        SL_CHECK(i < size_, "ring_buffer",
+                 "index " << i << " out of range (size " << size_ << ")");
         return storage_[(head_ + i) % capacity_];
     }
 

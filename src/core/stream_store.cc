@@ -1,12 +1,22 @@
 #include "core/stream_store.hh"
 
 #include <algorithm>
-#include <cassert>
 
 #include "common/hash.hh"
 
 namespace sl
 {
+
+namespace
+{
+
+constexpr bool
+powerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
 
 StreamStore::StreamStore(const StreamStoreParams& params)
     : params_(params), epb_(streamEntriesPerBlock(params.streamLength)),
@@ -15,8 +25,27 @@ StreamStore::StreamStore(const StreamStoreParams& params)
              streamEntriesPerBlock(params.streamLength)),
       stats_("stream_store")
 {
-    assert(epb_ > 0);
-    assert(params_.sets >= params_.sampledSets);
+    SL_REQUIRE(params_.streamLength > 0 &&
+                   params_.streamLength <= kMaxStreamLength,
+               "stream_store", "stream length must be in [1, "
+                                   << kMaxStreamLength << "], got "
+                                   << params_.streamLength);
+    SL_REQUIRE(epb_ > 0, "stream_store",
+               "stream length " << params_.streamLength
+                                << " leaves no entries per block");
+    SL_REQUIRE(params_.ways > 0, "stream_store",
+               "store needs at least one metadata way");
+    SL_REQUIRE(powerOfTwo(params_.sets), "stream_store",
+               "set count must be a power of two, got " << params_.sets);
+    SL_REQUIRE(powerOfTwo(params_.sampledSets) &&
+                   params_.sets >= params_.sampledSets,
+               "stream_store",
+               "sampled sets must be a power of two no larger than the "
+               "set count, got "
+                   << params_.sampledSets << " of " << params_.sets);
+    SL_REQUIRE(params_.partialTagBits > 0 && params_.partialTagBits <= 16,
+               "stream_store", "partial tags are 1..16 bits, got "
+                                   << params_.partialTagBits);
     if (params_.repl == MetaRepl::TpMockingjay)
         tpmj_ = std::make_unique<TpMockingjay>(params_.sets);
 }
@@ -142,7 +171,14 @@ StreamStore::lookup(Addr trigger)
         if (tpmj_)
             s->etr = static_cast<std::int8_t>(tpmj_->predict(s->pc));
         s->rrpv = 0;
-        return s->entry;
+        StreamEntry e = s->entry;
+        // Injected fault: the metadata read may return a flipped bit in
+        // one target. Only the *returned copy* is corrupted — the stored
+        // entry stays intact, as a transient read error would leave it.
+        if (faults_ && e.length > 0 &&
+            faults_->corruptMetadataTarget(e.targets[0]))
+            ++stats_.counter("corrupt_reads");
+        return e;
     }
     ++stats_.counter("misses");
     return std::nullopt;
@@ -211,6 +247,11 @@ StreamStore::chooseVictim(std::uint32_t set, Addr trigger,
 InsertOutcome
 StreamStore::insert(const StreamEntry& e, PC pc)
 {
+    SL_CHECK(e.valid() && e.length <= params_.streamLength,
+             "stream_store", "insert of entry with length "
+                                 << unsigned{e.length}
+                                 << " outside [1, "
+                                 << params_.streamLength << "]");
     const std::uint32_t set = indexOf(e.trigger);
     if (!allocated(set)) {
         ++stats_.counter("filtered_inserts");
@@ -231,7 +272,9 @@ StreamStore::insert(const StreamEntry& e, PC pc)
     const std::uint16_t ptag =
         partialTriggerTag(e.trigger, params_.partialTagBits);
     Slot* victim = chooseVictim(set, e.trigger, ptag);
-    assert(victim);
+    SL_CHECK(victim != nullptr, "stream_store",
+             "no victim candidate in set " << set
+                                           << " (broken way bounds)");
     if (victim->valid && tpmj_) {
         // Mockingjay bypass: if the incoming entry is predicted to be
         // reused later than (or as late as) the chosen victim, storing
@@ -281,6 +324,44 @@ StreamStore::sampleCorrelation(Addr trigger, Addr first_target, PC pc)
 {
     if (tpmj_)
         tpmj_->sample(indexOf(trigger), trigger, first_target, pc);
+}
+
+void
+StreamStore::audit(Cycle now) const
+{
+    std::uint64_t live = 0;
+    for (std::uint32_t set = 0; set < params_.sets; ++set) {
+        for (unsigned w = 0; w < params_.ways; ++w) {
+            const Slot* arr =
+                &slots_[(static_cast<std::size_t>(set) * params_.ways +
+                         w) *
+                        epb_];
+            for (unsigned i = 0; i < epb_; ++i) {
+                const Slot& s = arr[i];
+                if (!s.valid)
+                    continue;
+                ++live;
+                SL_CHECK_AT(allocated(set) && w < ways_, "stream_store",
+                            now,
+                            "live entry in deallocated set " << set
+                                                             << " way "
+                                                             << w);
+                SL_CHECK_AT(indexOf(s.entry.trigger) == set,
+                            "stream_store", now,
+                            "entry for trigger 0x"
+                                << std::hex << s.entry.trigger << std::dec
+                                << " misplaced in set " << set);
+                SL_CHECK_AT(s.entry.length > 0 &&
+                                s.entry.length <= params_.streamLength,
+                            "stream_store", now,
+                            "entry with out-of-bounds stream length "
+                                << unsigned{s.entry.length});
+            }
+        }
+    }
+    SL_CHECK_AT(live == liveEntries_, "stream_store", now,
+                "live-entry counter " << liveEntries_ << " disagrees with "
+                                      << live << " valid slots");
 }
 
 std::uint64_t

@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/fault.hh"
 #include "common/stats.hh"
 #include "core/stream_entry.hh"
 #include "core/tp_mockingjay.hh"
@@ -115,6 +116,18 @@ class StreamStore
     StatGroup& stats() { return stats_; }
     const StatGroup& stats() const { return stats_; }
 
+    /** Attach the system's fault injector: lookup results may then come
+     *  back with a flipped target bit (a corrupt metadata read). */
+    void setFaultInjector(FaultInjector* f) { faults_ = f; }
+
+    /**
+     * Audit the store's structural invariants; throws SimError on
+     * violation. Checks: the live-entry count matches the valid slots,
+     * every valid entry is homed to an allocated set, and stream lengths
+     * respect the configured bound.
+     */
+    void audit(Cycle now) const;
+
   private:
     struct Slot
     {
@@ -138,6 +151,7 @@ class StreamStore
     std::vector<Slot> slots_;
     std::uint64_t liveEntries_ = 0;
     std::unique_ptr<TpMockingjay> tpmj_;
+    FaultInjector* faults_ = nullptr;
     StatGroup stats_;
 };
 

@@ -31,6 +31,7 @@ StreamlinePrefetcher::attach(Cache* owner, Cache* llc, EventQueue* eq,
     sp.skewedIndex = cfg_.skewedIndexing;
     sp.sampledSets = std::max<unsigned>(4, sp.sets / 32);
     store_.emplace(sp);
+    store_->setFaultInjector(faults_);
 
     const double corr_scale =
         static_cast<double>(std::min<std::uint32_t>(64, sp.sets)) /

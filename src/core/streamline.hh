@@ -72,6 +72,21 @@ class StreamlinePrefetcher : public Prefetcher, public PartitionPolicy
 
     void onAccess(const AccessInfo& info) override;
 
+    void
+    setFaultInjector(FaultInjector* f) override
+    {
+        Prefetcher::setFaultInjector(f);
+        if (store_)
+            store_->setFaultInjector(f);
+    }
+
+    void
+    audit(Cycle now) const override
+    {
+        if (store_)
+            store_->audit(now);
+    }
+
     const PartitionPolicy* partitionPolicy() const override
     {
         return cfg_.ideal ? nullptr : this;

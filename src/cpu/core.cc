@@ -1,6 +1,6 @@
 #include "cpu/core.hh"
 
-#include <cassert>
+#include <sstream>
 
 namespace sl
 {
@@ -11,7 +11,11 @@ Core::Core(int id, const CoreParams& params, EventQueue& eq, Cache* l1d,
       trace_(std::move(trace)), rob_(params.robSize),
       stats_("core" + std::to_string(id))
 {
-    assert(!trace_->records.empty());
+    params_.validate();
+    SL_REQUIRE(l1d_ != nullptr, stats_.name().c_str(),
+               "core needs an L1D to issue into");
+    SL_REQUIRE(trace_ && !trace_->records.empty(), stats_.name().c_str(),
+               "core needs a non-empty trace");
 }
 
 bool
@@ -126,6 +130,9 @@ Core::requestDone(const MemRequest& req, Cycle now)
 {
     const auto slot = static_cast<std::size_t>(req.tag >> 32);
     const std::uint64_t gen = req.tag & 0xffffffffULL;
+    SL_CHECK_AT(slot < rob_.size(), stats_.name().c_str(), now,
+                "memory response tagged with ROB slot " << slot
+                    << " outside the " << rob_.size() << "-entry ROB");
     RobEntry& e = rob_[slot];
     // Responses can only arrive for live loads (retire waits for them).
     if (e.slotGen == gen && e.isMem && e.doneAt == kNoCycle)
@@ -149,6 +156,24 @@ Core::onRecordRetired(Cycle now)
             warmupInstr_ = 0;
         }
     }
+}
+
+std::string
+Core::describeRobHead() const
+{
+    std::ostringstream os;
+    if (robCount_ == 0) {
+        os << "rob empty, next record " << recordIdx_;
+        return os.str();
+    }
+    const RobEntry& head = rob_[robHead_];
+    os << "rob " << robCount_ << "/" << rob_.size() << ", head "
+       << (head.isMem ? "mem" : "alu") << " ";
+    if (head.doneAt == kNoCycle)
+        os << "waiting on memory";
+    else
+        os << "done at cycle " << head.doneAt;
+    return os.str();
 }
 
 Cycle

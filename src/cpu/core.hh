@@ -16,6 +16,9 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
+#include "common/error.hh"
 #include "common/event.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -30,6 +33,19 @@ struct CoreParams
 {
     unsigned robSize = 352;
     unsigned width = 6;
+
+    /** Reject nonsensical core geometry before a run starts. */
+    void
+    validate() const
+    {
+        SL_REQUIRE(robSize > 0, "core_params", "ROB needs at least one "
+                   "entry");
+        SL_REQUIRE(width > 0, "core_params",
+                   "dispatch/retire width must be nonzero");
+        SL_REQUIRE(width <= robSize, "core_params",
+                   "width " << width << " cannot exceed ROB size "
+                            << robSize);
+    }
 };
 
 /** Drives one trace through the memory hierarchy. */
@@ -64,6 +80,18 @@ class Core : public RequestClient
 
     // RequestClient
     void requestDone(const MemRequest& req, Cycle now) override;
+
+    /** Total instructions retired since construction (watchdog probe). */
+    std::uint64_t retiredInstructions() const { return instrRetired_; }
+
+    /** Occupied ROB entries (diagnostic snapshots). */
+    std::size_t robOccupancy() const { return robCount_; }
+
+    /**
+     * One-line description of the ROB head for watchdog snapshots:
+     * what the oldest in-flight instruction is waiting on.
+     */
+    std::string describeRobHead() const;
 
     /** Instructions retired in the measurement (post-warmup) region. */
     std::uint64_t evalInstructions() const;

@@ -6,9 +6,30 @@
 namespace sl
 {
 
+void
+DramParams::validate() const
+{
+    SL_REQUIRE(channels > 0, "dram_params", "need at least one channel");
+    SL_REQUIRE(ranksPerChannel > 0, "dram_params",
+               "need at least one rank per channel");
+    SL_REQUIRE(banksPerRank > 0, "dram_params",
+               "need at least one bank per rank");
+    SL_REQUIRE(rowsPerBank > 0, "dram_params",
+               "need at least one row per bank");
+    SL_REQUIRE(transferMTs > 0, "dram_params",
+               "transfer rate must be nonzero");
+    SL_REQUIRE(busBytes > 0 && busBytes <= kBlockBytes, "dram_params",
+               "bus width must be in (0, " << kBlockBytes << "] bytes");
+    SL_REQUIRE(coreGHz > 0, "dram_params", "core clock must be positive");
+    SL_REQUIRE(tCasNs >= 0 && tRcdNs >= 0 && tRpNs >= 0 &&
+                   controllerNs >= 0,
+               "dram_params", "timing parameters must be non-negative");
+}
+
 Dram::Dram(const DramParams& params, EventQueue& eq)
     : params_(params), eq_(eq), stats_("dram")
 {
+    params_.validate();
     channels_.resize(params_.channels);
     for (auto& ch : channels_)
         ch.banks.resize(params_.ranksPerChannel * params_.banksPerRank);
@@ -35,6 +56,15 @@ Dram::peakBytesPerCycle() const
 {
     return static_cast<double>(kBlockBytes) * params_.channels /
            static_cast<double>(burstCycles_);
+}
+
+Cycle
+Dram::busyUntil() const
+{
+    Cycle busy = 0;
+    for (const auto& ch : channels_)
+        busy = std::max(busy, ch.busFreeAt);
+    return busy;
 }
 
 void
@@ -84,7 +114,9 @@ Dram::access(MemRequest* req, Cycle now)
 
     stats_.counter("bytes") += kBlockBytes;
 
-    const Cycle done = burst_start + burstCycles_ + controllerCycles_;
+    Cycle done = burst_start + burstCycles_ + controllerCycles_;
+    if (faults_)
+        done += faults_->dramDelay(); // injected slow response
     if (req->client) {
         MemRequest* r = req;
         eq_.schedule(done, [r, done] {

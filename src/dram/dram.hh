@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/event.hh"
+#include "common/fault.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cache/cache.hh"
@@ -38,6 +39,9 @@ struct DramParams
     /** Memory-controller queueing + on-chip interconnect to the
      *  controller and back; added to every access's completion time. */
     double controllerNs = 30.0;
+
+    /** Reject nonsensical DRAM geometry/timing before a run starts. */
+    void validate() const;
 };
 
 /**
@@ -62,6 +66,12 @@ class Dram : public MemLevel
     /** Peak bandwidth in bytes per core cycle (for reporting). */
     double peakBytesPerCycle() const;
 
+    /** Attach the system's fault injector (null = no faults). */
+    void setFaultInjector(FaultInjector* f) { faults_ = f; }
+
+    /** Latest cycle any channel bus is busy until (diagnostics). */
+    Cycle busyUntil() const;
+
   private:
     struct Bank
     {
@@ -78,6 +88,7 @@ class Dram : public MemLevel
 
     DramParams params_;
     EventQueue& eq_;
+    FaultInjector* faults_ = nullptr;
     std::vector<Channel> channels_;
     Cycle tCas_, tRcd_, tRp_, burstCycles_, controllerCycles_;
     StatGroup stats_;

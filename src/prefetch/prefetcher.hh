@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/event.hh"
+#include "common/fault.hh"
 #include "common/stats.hh"
 #include "cache/cache.hh"
 
@@ -48,6 +49,20 @@ class Prefetcher : public CacheListener
     {
         return nullptr;
     }
+
+    /**
+     * Attach the system's fault injector (null = no faults). Called by
+     * the System builder after attach(); temporal prefetchers forward it
+     * to their metadata stores so lookups can return corrupted targets.
+     */
+    virtual void setFaultInjector(FaultInjector* f) { faults_ = f; }
+
+    /**
+     * Audit internal invariants (metadata-store size bounds and entry
+     * placement); throws SimError on violation. Called periodically by
+     * the InvariantAuditor; default is a no-op for stateless designs.
+     */
+    virtual void audit(Cycle now) const { (void)now; }
 
     StatGroup& stats() { return stats_; }
     const StatGroup& stats() const { return stats_; }
@@ -83,6 +98,7 @@ class Prefetcher : public CacheListener
     Cache* owner_ = nullptr;
     Cache* llc_ = nullptr;
     EventQueue* eq_ = nullptr;
+    FaultInjector* faults_ = nullptr;
     int coreId_ = 0;
     unsigned totalCores_ = 1;
     StatGroup stats_;

@@ -1,0 +1,49 @@
+#include "sim/hardening.hh"
+
+#include <sstream>
+
+#include "sim/system.hh"
+
+namespace sl
+{
+
+void
+InvariantAuditor::auditNow(Cycle now)
+{
+    // Event-queue monotonicity: the head must never precede drained time
+    // (schedule() rejects past events, so a violation means heap damage).
+    const EventQueue& eq = sys_.eventQueue();
+    SL_CHECK_AT(eq.nextCycle() >= eq.now(), "invariant_auditor", now,
+                "event queue lost monotonicity: head at " << eq.nextCycle()
+                    << " precedes drained time " << eq.now());
+
+    sys_.llc().audit(now);
+    for (unsigned c = 0; c < sys_.cores(); ++c) {
+        sys_.l1d(c).audit(now);
+        sys_.l2(c).audit(now);
+        if (const Prefetcher* pf = sys_.l1dPrefetcher(c))
+            pf->audit(now);
+        if (const Prefetcher* pf = sys_.l2Prefetcher(c))
+            pf->audit(now);
+    }
+    ++auditsRun_;
+}
+
+void
+ProgressWatchdog::trip(Cycle now) const
+{
+    std::ostringstream detail;
+    detail << "no instruction retired for " << (now - lastProgressCycle_)
+           << " cycles (watchdog window " << window_
+           << "; total retired stuck at " << lastWork_ << " since cycle "
+           << lastProgressCycle_ << ") -- the simulation is hung, not slow";
+    const std::string snap = snapshot_ ? snapshot_(now) : std::string{};
+
+    std::ostringstream what;
+    what << "[progress_watchdog @" << now << "] " << detail.str();
+    if (!snap.empty())
+        what << "\n" << snap;
+    throw SimError("progress_watchdog", now, detail.str(), what.str());
+}
+
+} // namespace sl

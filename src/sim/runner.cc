@@ -1,9 +1,12 @@
 #include "sim/runner.hh"
 
 #include <cassert>
+#include <cstdlib>
+#include <fstream>
 #include <map>
-#include <stdexcept>
+#include <sstream>
 
+#include "common/error.hh"
 #include "prefetch/berti.hh"
 #include "prefetch/bingo.hh"
 #include "prefetch/ipcp.hh"
@@ -100,11 +103,78 @@ makeL2Factory(const RunConfig& cfg)
 
 } // namespace
 
+void
+RunConfig::validate() const
+{
+    SL_REQUIRE(cores >= 1, "run_config", "need at least one core");
+    // Scale > 10 synthesizes traces an order of magnitude past the
+    // paper's footprint -- almost certainly a units mistake.
+    SL_REQUIRE(traceScale <= 10.0, "run_config",
+               "traceScale " << traceScale
+                             << " is implausibly large (1.0 = paper "
+                                "footprint; <= 0 selects the default)");
+    faults.validate();
+}
+
+std::string
+formatReproBundle(const RunConfig& cfg,
+                  const std::vector<std::string>& workloads,
+                  const SimError& err)
+{
+    std::ostringstream os;
+    os << "# Streamline repro bundle\n";
+    os << "# Re-run with these exact values to replay the failure\n";
+    os << "# bit-identically (all randomness is seeded).\n";
+    os << "seed = " << cfg.seed << "\n";
+    os << "cores = " << cfg.cores << "\n";
+    os << "workloads =";
+    for (const auto& w : workloads)
+        os << " " << w;
+    os << "\n";
+    os << "trace_scale = " << cfg.traceScale << " (resolved "
+       << (cfg.traceScale > 0 ? cfg.traceScale : defaultTraceScale())
+       << ")\n";
+    os << "l1_prefetcher = " << l1PfName(cfg.l1) << "\n";
+    os << "l2_prefetcher = " << l2PfName(cfg.l2) << "\n";
+    os << "dram_mts = " << cfg.dramMTs << "\n";
+    os << "fault.seed = " << cfg.faults.seed << "\n";
+    os << "fault.metadata_bit_flip_rate = "
+       << cfg.faults.metadataBitFlipRate << "\n";
+    os << "fault.drop_prefetch_fill_rate = "
+       << cfg.faults.dropPrefetchFillRate << "\n";
+    os << "fault.dram_delay_rate = " << cfg.faults.dramDelayRate << "\n";
+    os << "fault.dram_delay_cycles = " << cfg.faults.dramDelayCycles
+       << "\n";
+    os << "fault.lose_request_rate = " << cfg.faults.loseRequestRate
+       << "\n";
+    os << "hardening.audit_interval = " << cfg.hardening.auditInterval
+       << "\n";
+    os << "hardening.watchdog_window = " << cfg.hardening.watchdogWindow
+       << "\n";
+    os << "error.component = " << err.component() << "\n";
+    if (err.cycle() != kNoErrorCycle)
+        os << "error.cycle = " << err.cycle() << "\n";
+    os << "error.what = " << err.what() << "\n";
+    return os.str();
+}
+
+std::string
+reproBundlePath()
+{
+    if (const char* p = std::getenv("SL_REPRO_PATH"))
+        return p;
+    return "sl_repro_bundle.txt";
+}
+
 RunResult
 runWorkloads(const RunConfig& cfg,
              const std::vector<std::string>& workloads)
 {
-    assert(workloads.size() == cfg.cores);
+    cfg.validate();
+    SL_REQUIRE(workloads.size() == cfg.cores, "run_config",
+               "need one workload per core, got " << workloads.size()
+                                                  << " for " << cfg.cores
+                                                  << " cores");
 
     std::vector<TracePtr> traces;
     traces.reserve(cfg.cores);
@@ -116,9 +186,19 @@ runWorkloads(const RunConfig& cfg,
     sc.dramMTs = cfg.dramMTs;
     sc.l1dPrefetcher = makeL1Factory(cfg);
     sc.l2Prefetcher = makeL2Factory(cfg);
+    sc.faults = cfg.faults;
+    sc.hardening = cfg.hardening;
 
     System sys(sc, traces);
-    sys.run();
+    try {
+        sys.run();
+    } catch (const SimError& err) {
+        // Serialize everything needed to replay the failure, then let
+        // the error propagate to the caller.
+        if (std::ofstream out(reproBundlePath()); out)
+            out << formatReproBundle(cfg, workloads, err);
+        throw;
+    }
 
     RunResult res;
     for (unsigned c = 0; c < cfg.cores; ++c) {

@@ -53,6 +53,11 @@ struct RunConfig
     unsigned dramMTs = 3200;
     double traceScale = -1.0;    //!< <=0: SL_TRACE_SCALE default
     std::uint64_t seed = 1;
+    FaultConfig faults;          //!< deterministic fault injection (off)
+    HardeningConfig hardening;   //!< auditor / watchdog knobs
+
+    /** Reject unrunnable configurations; throws SimError. */
+    void validate() const;
 };
 
 /** Per-core outcome. */
@@ -133,9 +138,27 @@ struct RunResult
     }
 };
 
-/** Run @p workloads (one per core) under @p cfg. */
+/**
+ * Run @p workloads (one per core) under @p cfg. If the System raises
+ * SimError (auditor, watchdog, deadlock, invariant check), a repro
+ * bundle is written next to the working directory (or to $SL_REPRO_PATH)
+ * before the error is rethrown.
+ */
 RunResult runWorkloads(const RunConfig& cfg,
                        const std::vector<std::string>& workloads);
+
+/**
+ * The text serialized on a tripped run: everything needed to replay it
+ * bit-identically (seed, workloads, trace scale, prefetcher selection,
+ * fault config) plus the error's component/cycle/diagnostics. Exposed
+ * separately so tests can assert on the content without filesystem I/O.
+ */
+std::string formatReproBundle(const RunConfig& cfg,
+                              const std::vector<std::string>& workloads,
+                              const SimError& err);
+
+/** Where runWorkloads writes the bundle ($SL_REPRO_PATH or default). */
+std::string reproBundlePath();
 
 /** Single-core convenience wrapper. */
 RunResult runWorkload(const RunConfig& cfg, const std::string& workload);

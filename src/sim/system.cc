@@ -1,14 +1,43 @@
 #include "sim/system.hh"
 
 #include <algorithm>
-#include <cassert>
-#include <stdexcept>
+#include <sstream>
+
+#include "common/error.hh"
 
 namespace sl
 {
 
 namespace
 {
+
+bool
+powerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Shared geometry checks for one cache level. */
+void
+validateCacheLevel(const char* level, std::size_t size_bytes,
+                   unsigned ways, unsigned latency, unsigned mshrs,
+                   unsigned ports)
+{
+    SL_REQUIRE(size_bytes >= kBlockBytes, level,
+               "capacity " << size_bytes << "B is below one "
+                           << kBlockBytes << "B block");
+    SL_REQUIRE(ways > 0, level, "associativity must be nonzero");
+    SL_REQUIRE(size_bytes % (kBlockBytes * ways) == 0, level,
+               "capacity " << size_bytes << "B is not a whole number of "
+                           << ways << "-way sets");
+    SL_REQUIRE(powerOfTwo(size_bytes / kBlockBytes / ways), level,
+               "set count " << (size_bytes / kBlockBytes / ways)
+                            << " is not a power of two (set indexing "
+                               "masks address bits)");
+    SL_REQUIRE(latency > 0, level, "latency must be nonzero");
+    SL_REQUIRE(mshrs > 0, level, "MSHR count must be nonzero");
+    SL_REQUIRE(ports > 0, level, "port count must be nonzero");
+}
 
 /** Table II: 1/2/4/8 cores -> 1/2/2/4 channels, 1/1/2/2 ranks/channel. */
 DramParams
@@ -38,13 +67,38 @@ paperGeometry()
     return c;
 }
 
+void
+SystemConfig::validate() const
+{
+    SL_REQUIRE(cores >= 1, "system_config", "need at least one core");
+    core.validate();
+    validateCacheLevel("l1d_config", l1dBytes, l1dWays, l1dLatency,
+                       l1dMshrs, l1dPorts);
+    validateCacheLevel("l2_config", l2Bytes, l2Ways, l2Latency, l2Mshrs,
+                       l2Ports);
+    // The LLC is banked one port per core slice; per-core capacity must
+    // itself produce a power-of-two total set count.
+    validateCacheLevel("llc_config", llcBytesPerCore * cores, llcWays,
+                       llcLatency, llcMshrsPerCore * cores, cores);
+    SL_REQUIRE(dramMTs > 0, "system_config",
+               "DRAM transfer rate must be nonzero");
+    faults.validate();
+}
+
 System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
     : cfg_(cfg)
 {
-    assert(traces.size() == cfg.cores && "one trace per core");
+    cfg.validate();
+    SL_REQUIRE(traces.size() == cfg.cores, "system",
+               "need one trace per core, got " << traces.size() << " for "
+                                               << cfg.cores << " cores");
+
+    if (cfg.faults.enabled())
+        faults_ = std::make_unique<FaultInjector>(cfg.faults);
 
     dram_ = std::make_unique<Dram>(dramForCores(cfg.cores, cfg.dramMTs),
                                    eq_);
+    dram_->setFaultInjector(faults_.get());
 
     CacheParams llc_params;
     llc_params.name = "llc";
@@ -54,6 +108,7 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
     llc_params.mshrs = cfg.llcMshrsPerCore * cfg.cores;
     llc_params.ports = cfg.cores; // banked: one access/cycle per core slice
     llc_ = std::make_unique<Cache>(llc_params, eq_, dram_.get());
+    llc_->setFaultInjector(faults_.get());
 
     partition_ = std::make_unique<CompositePartition>(cfg.cores);
     llc_->setPartition(partition_.get());
@@ -67,6 +122,7 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
         l2p.mshrs = cfg.l2Mshrs;
         l2p.ports = cfg.l2Ports;
         l2s_.push_back(std::make_unique<Cache>(l2p, eq_, llc_.get()));
+        l2s_.back()->setFaultInjector(faults_.get());
 
         CacheParams l1p;
         l1p.name = "l1d_" + std::to_string(c);
@@ -77,6 +133,7 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
         l1p.ports = cfg.l1dPorts;
         l1ds_.push_back(
             std::make_unique<Cache>(l1p, eq_, l2s_.back().get()));
+        l1ds_.back()->setFaultInjector(faults_.get());
 
         cores_.push_back(std::make_unique<Core>(
             static_cast<int>(c), cfg.core, eq_, l1ds_.back().get(),
@@ -84,6 +141,7 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
 
         if (cfg.l1dPrefetcher) {
             auto pf = cfg.l1dPrefetcher(static_cast<int>(c));
+            pf->setFaultInjector(faults_.get());
             pf->attach(l1ds_.back().get(), llc_.get(), &eq_,
                        static_cast<int>(c), cfg.cores);
             l1ds_.back()->setListener(pf.get());
@@ -94,6 +152,7 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
 
         if (cfg.l2Prefetcher) {
             auto pf = cfg.l2Prefetcher(static_cast<int>(c));
+            pf->setFaultInjector(faults_.get());
             pf->attach(l2s_.back().get(), llc_.get(), &eq_,
                        static_cast<int>(c), cfg.cores);
             l2s_.back()->setListener(pf.get());
@@ -104,6 +163,14 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
             l2Pfs_.push_back(nullptr);
         }
     }
+
+    if (cfg.hardening.auditInterval > 0)
+        auditor_ = std::make_unique<InvariantAuditor>(
+            *this, cfg.hardening.auditInterval);
+    if (cfg.hardening.watchdogWindow > 0)
+        watchdog_ = std::make_unique<ProgressWatchdog>(
+            cfg.hardening.watchdogWindow,
+            [this](Cycle now) { return diagnosticSnapshot(now); });
 }
 
 System::~System() = default;
@@ -118,14 +185,20 @@ System::run(std::uint64_t max_cycles)
             all_done &= c->done();
         if (all_done)
             break;
-        if (cycle > max_cycles)
-            throw std::runtime_error("simulation exceeded cycle limit");
+        SL_CHECK_AT(cycle <= max_cycles, "system", cycle,
+                    "exceeded cycle limit " << max_cycles << "\n"
+                                            << diagnosticSnapshot(cycle));
 
         eq_.runUntil(cycle);
 
         bool progress = false;
         for (auto& c : cores_)
             progress |= c->step(cycle);
+
+        if (auditor_)
+            auditor_->maybeAudit(cycle);
+        if (watchdog_)
+            watchdog_->observe(cycle, totalRetired());
 
         if (progress) {
             ++cycle;
@@ -136,10 +209,43 @@ System::run(std::uint64_t max_cycles)
         Cycle next = eq_.nextCycle();
         for (const auto& c : cores_)
             next = std::min(next, c->nextWake(cycle));
-        if (next == kNoCycle)
-            throw std::runtime_error("simulation deadlock");
+        SL_CHECK_AT(next != kNoCycle, "system", cycle,
+                    "deadlock: no core can progress and no event is "
+                    "pending\n"
+                        << diagnosticSnapshot(cycle));
         cycle = std::max(next, cycle + 1);
     }
+}
+
+std::uint64_t
+System::totalRetired() const
+{
+    std::uint64_t total = 0;
+    for (const auto& c : cores_)
+        total += c->retiredInstructions();
+    return total;
+}
+
+std::string
+System::diagnosticSnapshot(Cycle now) const
+{
+    std::ostringstream os;
+    os << "diagnostic snapshot @" << now << ":";
+    os << "\n  events pending: " << eq_.size();
+    if (!eq_.empty())
+        os << " (next at " << eq_.nextCycle() << ")";
+    os << "\n  dram: busy until " << dram_->busyUntil();
+    os << "\n  llc: mshrs " << llc_->mshrCount() << "/"
+       << llc_->mshrLimit();
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        os << "\n  core " << c << ": retired "
+           << cores_[c]->retiredInstructions() << ", "
+           << cores_[c]->describeRobHead() << "; l1d mshrs "
+           << l1ds_[c]->mshrCount() << "/" << l1ds_[c]->mshrLimit()
+           << ", l2 mshrs " << l2s_[c]->mshrCount() << "/"
+           << l2s_[c]->mshrLimit();
+    }
+    return os.str();
 }
 
 } // namespace sl

@@ -10,13 +10,16 @@
 #define SL_SIM_SYSTEM_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/event.hh"
+#include "common/fault.hh"
 #include "cache/cache.hh"
 #include "cpu/core.hh"
 #include "dram/dram.hh"
 #include "prefetch/prefetcher.hh"
+#include "sim/hardening.hh"
 #include "trace/trace.hh"
 
 namespace sl
@@ -57,6 +60,17 @@ struct SystemConfig
 
     PrefetcherFactory l1dPrefetcher; //!< may be empty
     PrefetcherFactory l2Prefetcher;  //!< may be empty
+
+    FaultConfig faults;        //!< deterministic fault injection (off)
+    HardeningConfig hardening; //!< auditor / watchdog knobs
+
+    /**
+     * Reject impossible geometry before any component is built: zero
+     * capacities, non-power-of-two set counts, zero latencies / MSHRs /
+     * ports, and out-of-range fault rates all throw SimError here rather
+     * than corrupting a run later.
+     */
+    void validate() const;
 };
 
 /** The unscaled Table II machine (2MB LLC/core, 512KB L2, 48KB L1D). */
@@ -102,10 +116,22 @@ class System
 
     /**
      * Run until every core completes its measurement region (cores that
-     * finish early replay their traces to keep contending).
-     * @param max_cycles safety limit; throws on overrun
+     * finish early replay their traces to keep contending). The loop
+     * periodically runs the invariant auditor and feeds the progress
+     * watchdog; a deadlock, cycle-limit overrun, invariant violation, or
+     * stall raises SimError with a diagnostic snapshot attached.
      */
     void run(std::uint64_t max_cycles = 200'000'000'000ULL);
+
+    /** Total instructions retired across all cores (watchdog signal). */
+    std::uint64_t totalRetired() const;
+
+    /**
+     * Human-readable dump of in-flight state: per-core ROB head and
+     * retirement counts, per-cache MSHR occupancy, pending event count,
+     * and DRAM queue depth. Attached to SimErrors raised by the run loop.
+     */
+    std::string diagnosticSnapshot(Cycle now) const;
 
     unsigned cores() const { return static_cast<unsigned>(cores_.size()); }
     Core& core(unsigned i) { return *cores_[i]; }
@@ -118,9 +144,16 @@ class System
     Prefetcher* l1dPrefetcher(unsigned i) { return l1dPfs_[i].get(); }
     Prefetcher* l2Prefetcher(unsigned i) { return l2Pfs_[i].get(); }
 
+    /** The fault injector, or null when cfg.faults has all-zero rates. */
+    FaultInjector* faultInjector() { return faults_.get(); }
+
+    /** The auditor, or null when cfg.hardening.auditInterval == 0. */
+    const InvariantAuditor* auditor() const { return auditor_.get(); }
+
   private:
     SystemConfig cfg_;
     EventQueue eq_;
+    std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<Dram> dram_;
     std::unique_ptr<Cache> llc_;
     std::vector<std::unique_ptr<Cache>> l2s_;
@@ -129,6 +162,8 @@ class System
     std::vector<std::unique_ptr<Prefetcher>> l1dPfs_;
     std::vector<std::unique_ptr<Prefetcher>> l2Pfs_;
     std::unique_ptr<CompositePartition> partition_;
+    std::unique_ptr<InvariantAuditor> auditor_;
+    std::unique_ptr<ProgressWatchdog> watchdog_;
 };
 
 } // namespace sl

@@ -1,7 +1,6 @@
 #include "temporal/pairwise_store.hh"
 
 #include <algorithm>
-#include <cassert>
 
 #include "common/hash.hh"
 
@@ -14,6 +13,12 @@ PairwiseStore::PairwiseStore(const PairwiseStoreParams& params)
       reusePred_(params.utilityRepl ? 1024 : 0, 0),
       stats_("pairwise_store")
 {
+    SL_REQUIRE(params_.sets > 0, "pairwise_store",
+               "store needs at least one set");
+    SL_REQUIRE(params_.maxWays > 0, "pairwise_store",
+               "store needs at least one way");
+    SL_REQUIRE(params_.entriesPerBlock > 0, "pairwise_store",
+               "store needs at least one entry per block");
     for (auto& b : blocks_)
         b.resize(params_.entriesPerBlock);
 }
@@ -89,7 +94,13 @@ PairwiseStore::lookup(Addr trigger)
             ++sampledHitsEpoch_;
         }
         e->rrpv = 0;
-        return e->target;
+        Addr target = e->target;
+        // Injected fault: the metadata read may return a flipped bit.
+        // Only the returned copy is corrupted, as a transient read error
+        // would leave the stored entry intact.
+        if (faults_ && faults_->corruptMetadataTarget(target))
+            ++stats_.counter("corrupt_reads");
+        return target;
     }
     ++stats_.counter("misses");
     return std::nullopt;
@@ -173,10 +184,40 @@ PairwiseStore::erase(Addr trigger)
     }
 }
 
+void
+PairwiseStore::audit(Cycle now) const
+{
+    std::uint64_t live = 0;
+    for (std::uint32_t s = 0; s < params_.sets; ++s) {
+        for (unsigned w = 0; w < params_.maxWays; ++w) {
+            const auto& blk =
+                blocks_[static_cast<std::size_t>(s) * params_.maxWays + w];
+            for (const Entry& e : blk) {
+                if (!e.valid)
+                    continue;
+                ++live;
+                SL_CHECK_AT(setIndex(e.trigger) == s, "pairwise_store",
+                            now,
+                            "entry for trigger 0x"
+                                << std::hex << e.trigger << std::dec
+                                << " misplaced in set " << s);
+                SL_CHECK_AT(w < waysFor(s), "pairwise_store", now,
+                            "live entry in deallocated way " << w
+                                << " of set " << s);
+            }
+        }
+    }
+    SL_CHECK_AT(live == liveEntries_, "pairwise_store", now,
+                "live-entry counter " << liveEntries_ << " disagrees with "
+                                      << live << " valid slots");
+}
+
 std::uint64_t
 PairwiseStore::resize(unsigned ways)
 {
-    assert(ways <= params_.maxWays);
+    SL_REQUIRE(ways <= params_.maxWays, "pairwise_store",
+               "resize to " << ways << " ways exceeds the configured max "
+                            << params_.maxWays);
     if (ways == ways_)
         return 0;
 

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/fault.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -91,6 +92,13 @@ class PairwiseStore
 
     StatGroup& stats() { return stats_; }
 
+    /** Attach the system's fault injector: lookup results may then come
+     *  back with a flipped target bit (a corrupt metadata read). */
+    void setFaultInjector(FaultInjector* f) { faults_ = f; }
+
+    /** Audit size-counter and placement invariants; throws SimError. */
+    void audit(Cycle now) const;
+
   private:
     struct Entry
     {
@@ -114,6 +122,7 @@ class PairwiseStore
     /** Per-trigger-hash reuse predictor for utilityRepl (-8..8). */
     std::vector<std::int8_t> reusePred_;
     std::uint64_t sampledHitsEpoch_ = 0;
+    FaultInjector* faults_ = nullptr;
     StatGroup stats_;
 };
 

@@ -23,6 +23,7 @@ TriagePrefetcher::attach(Cache* owner, Cache* llc, EventQueue* eq,
     sp.maxWays = cfg_.maxWays;
     sp.entriesPerBlock = 16; // LUT-compressed targets
     store_.emplace(sp);
+    store_->setFaultInjector(faults_);
     currentWays_ = cfg_.maxWays / 2;
     store_->resize(currentWays_);
     dataSampler_.emplace(std::min<std::uint32_t>(64, metadataSets()),

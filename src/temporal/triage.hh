@@ -45,6 +45,21 @@ class TriagePrefetcher : public Prefetcher, public PartitionPolicy
 
     void onAccess(const AccessInfo& info) override;
 
+    void
+    setFaultInjector(FaultInjector* f) override
+    {
+        Prefetcher::setFaultInjector(f);
+        if (store_)
+            store_->setFaultInjector(f);
+    }
+
+    void
+    audit(Cycle now) const override
+    {
+        if (store_)
+            store_->audit(now);
+    }
+
     const PartitionPolicy* partitionPolicy() const override { return this; }
 
     // PartitionPolicy (way-partitioning: same reservation in every set)

@@ -25,6 +25,7 @@ TriangelPrefetcher::attach(Cache* owner, Cache* llc, EventQueue* eq,
     sp.entriesPerBlock = 12; // uncompressed 31-bit targets
     sp.utilityRepl = cfg_.useTpMockingjay;
     store_.emplace(sp);
+    store_->setFaultInjector(faults_);
     currentWays_ = cfg_.ideal ? cfg_.maxWays : cfg_.maxWays / 2;
     store_->resize(currentWays_);
     dataSampler_.emplace(std::min<std::uint32_t>(64, metadataSets()),

@@ -21,6 +21,9 @@ using test::ScriptedMemory;
 void
 runCore(Core& core, EventQueue& eq, std::uint64_t max_cycles = 10'000'000)
 {
+    // Each runCore is an independent simulation from cycle 0: flush any
+    // straggler events from a previous run, then rebase the clock.
+    test::drain(eq);
     Cycle cycle = 0;
     while (!core.done()) {
         ASSERT_LT(cycle, max_cycles) << "core did not finish";
