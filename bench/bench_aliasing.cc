@@ -20,14 +20,14 @@ main()
     const double scale = benchScale();
     std::printf("%-10s %12s\n", "tag bits", "alias rate");
     for (unsigned bits : {4u, 5u, 6u, 7u, 8u}) {
+        RunConfig cfg;
+        cfg.l2 = "streamline";
+        cfg.streamline.partialTagBits = bits;
+        cfg.streamline.fixedDen = 1; // full store: worst case
+        const auto runs = runAcross(cfg, sweepWorkloads(), scale,
+                                    "tag" + std::to_string(bits));
         std::uint64_t constrained = 0, inserts = 0;
-        for (const auto& w : sweepWorkloads()) {
-            RunConfig cfg;
-            cfg.l2 = L2Pf::Streamline;
-            cfg.streamline.partialTagBits = bits;
-            cfg.streamline.fixedDen = 1; // full store: worst case
-            cfg.traceScale = scale;
-            const auto r = runWorkload(cfg, w);
+        for (const RunResult& r : runs) {
             auto get = [&](const char* k) {
                 auto it = r.storeStats.find(k);
                 return it == r.storeStats.end() ? 0ull : it->second;

@@ -18,17 +18,50 @@ namespace
 {
 
 using namespace sl;
+using namespace sl::bench;
 
-double
-mixGeomeanSpeedup(const Mix& mix, const RunConfig& variant,
-                  const RunConfig& base)
+struct MixSpeedups
 {
-    const auto b = runWorkloads(base, mix);
-    const auto v = runWorkloads(variant, mix);
-    std::vector<double> s;
-    for (unsigned c = 0; c < b.cores.size(); ++c)
-        s.push_back(v.cores[c].ipc / b.cores[c].ipc);
-    return geomean(s);
+    std::vector<double> tg; //!< per-mix Triangel geomean speedup
+    std::vector<double> sl; //!< per-mix Streamline geomean speedup
+};
+
+/**
+ * Submit base/Triangel/Streamline jobs for every mix as one batch and
+ * reduce to per-mix geomean speedups.
+ */
+MixSpeedups
+mixSpeedups(const std::vector<Mix>& mixes, const RunConfig& base,
+            const std::string& tag)
+{
+    RunConfig tg = base;
+    tg.l2 = "triangel";
+    RunConfig sl_cfg = base;
+    sl_cfg.l2 = "streamline";
+
+    std::vector<ExperimentSpec> specs;
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        const std::string id = tag + ":mix" + std::to_string(i);
+        specs.push_back({"base:" + id, base, mixes[i]});
+        specs.push_back({"triangel:" + id, tg, mixes[i]});
+        specs.push_back({"streamline:" + id, sl_cfg, mixes[i]});
+    }
+    const auto jobs = runBatch(specs);
+
+    MixSpeedups out;
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        const RunResult& b = jobs[3 * i].result;
+        const RunResult& t = jobs[3 * i + 1].result;
+        const RunResult& s = jobs[3 * i + 2].result;
+        std::vector<double> ts, ss;
+        for (unsigned c = 0; c < b.cores.size(); ++c) {
+            ts.push_back(t.cores[c].ipc / b.cores[c].ipc);
+            ss.push_back(s.cores[c].ipc / b.cores[c].ipc);
+        }
+        out.tg.push_back(geomean(ts));
+        out.sl.push_back(geomean(ss));
+    }
+    return out;
 }
 
 } // namespace
@@ -36,7 +69,6 @@ mixGeomeanSpeedup(const Mix& mix, const RunConfig& variant,
 int
 main()
 {
-    using namespace sl::bench;
     banner("Fig 10a/b/c: multi-core speedups, win rate, bandwidth");
 
     const double scale = std::min(benchScale(), 0.2);
@@ -45,28 +77,21 @@ main()
     // ---- Fig 10a: speedup vs core count ----
     std::printf("\n-- Fig 10a: geomean speedup vs cores (%u mixes each)"
                 " --\n", mix_count);
-    std::vector<std::pair<Mix, double>> four_core_deltas;
+    std::vector<double> four_core_deltas;
     for (unsigned cores : {2u, 4u, 8u}) {
         const auto mixes = makeMixes(cores, mix_count);
-        std::vector<double> tg_all, sl_all;
-        for (const auto& mix : mixes) {
-            RunConfig base;
-            base.cores = cores;
-            base.traceScale = scale;
-            RunConfig tg = base;
-            tg.l2 = L2Pf::Triangel;
-            RunConfig sl_cfg = base;
-            sl_cfg.l2 = L2Pf::Streamline;
-            const double tg_s = mixGeomeanSpeedup(mix, tg, base);
-            const double sl_s = mixGeomeanSpeedup(mix, sl_cfg, base);
-            tg_all.push_back(tg_s);
-            sl_all.push_back(sl_s);
-            if (cores == 4)
-                four_core_deltas.emplace_back(mix, sl_s - tg_s);
+        RunConfig base;
+        base.cores = cores;
+        base.traceScale = scale;
+        const auto sp =
+            mixSpeedups(mixes, base, std::to_string(cores) + "core");
+        if (cores == 4) {
+            for (std::size_t i = 0; i < mixes.size(); ++i)
+                four_core_deltas.push_back(sp.sl[i] - sp.tg[i]);
         }
         std::printf("%u cores: triangel %+5.1f%%  streamline %+5.1f%%\n",
-                    cores, 100 * (geomean(tg_all) - 1),
-                    100 * (geomean(sl_all) - 1));
+                    cores, 100 * (geomean(sp.tg) - 1),
+                    100 * (geomean(sp.sl) - 1));
         std::fflush(stdout);
     }
     std::printf("paper: Streamline wins by 7.2/6.9/6.7pp at 2/4/8"
@@ -74,32 +99,29 @@ main()
 
     // ---- Fig 10b: 4-core win rate ----
     unsigned wins = 0;
-    for (const auto& [mix, delta] : four_core_deltas)
+    for (const double delta : four_core_deltas)
         wins += delta > 0;
     std::printf("\n-- Fig 10b: Streamline beats Triangel on %u/%zu 4-core"
                 " mixes (paper: 77%%)\n",
                 wins, four_core_deltas.size());
+    JsonReport::instance().note(
+        "{\"fig10b_wins\":" + std::to_string(wins) +
+        ",\"fig10b_mixes\":" + std::to_string(four_core_deltas.size()) +
+        "}");
 
     // ---- Fig 10c: bandwidth sweep (4-core, first mixes) ----
     std::printf("\n-- Fig 10c: speedup vs DRAM MT/s (4-core) --\n");
     const auto mixes = makeMixes(4, 2);
     for (unsigned mts : {800u, 1600u, 3200u, 6400u}) {
-        std::vector<double> tg_all, sl_all;
-        for (const auto& mix : mixes) {
-            RunConfig base;
-            base.cores = 4;
-            base.traceScale = scale;
-            base.dramMTs = mts;
-            RunConfig tg = base;
-            tg.l2 = L2Pf::Triangel;
-            RunConfig sl_cfg = base;
-            sl_cfg.l2 = L2Pf::Streamline;
-            tg_all.push_back(mixGeomeanSpeedup(mix, tg, base));
-            sl_all.push_back(mixGeomeanSpeedup(mix, sl_cfg, base));
-        }
+        RunConfig base;
+        base.cores = 4;
+        base.traceScale = scale;
+        base.dramMTs = mts;
+        const auto sp =
+            mixSpeedups(mixes, base, std::to_string(mts) + "mts");
         std::printf("%5u MT/s: triangel %+5.1f%%  streamline %+5.1f%%\n",
-                    mts, 100 * (geomean(tg_all) - 1),
-                    100 * (geomean(sl_all) - 1));
+                    mts, 100 * (geomean(sp.tg) - 1),
+                    100 * (geomean(sp.sl) - 1));
         std::fflush(stdout);
     }
     std::printf("paper: Streamline holds a 1.1-3.3pp margin across"

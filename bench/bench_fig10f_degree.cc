@@ -18,19 +18,42 @@ main()
 
     const double scale = benchScale();
     const auto workloads = sweepWorkloads();
+    const std::vector<unsigned> degrees = {1, 2, 4, 8};
 
-    std::printf("%-8s %10s %10s\n", "degree", "triangel", "streamline");
-    for (unsigned degree : {1u, 2u, 4u, 8u}) {
+    // The whole sweep is one batch: 2 configs x 4 degrees x workloads.
+    warmBaselines(workloads, scale);
+    std::vector<ExperimentSpec> specs;
+    for (unsigned degree : degrees) {
         RunConfig tg;
-        tg.l2 = L2Pf::Triangel;
+        tg.traceScale = scale;
+        tg.l2 = "triangel";
         tg.triangel.maxDegree = degree;
-        RunConfig sl_cfg;
-        sl_cfg.l2 = L2Pf::Streamline;
+        RunConfig sl_cfg = tg;
+        sl_cfg.l2 = "streamline";
         sl_cfg.streamline.maxDegree = degree;
         // Degree beyond the stream length needs cross-entry chaining.
-        const double tg_s = geomeanSpeedup(workloads, tg, scale);
-        const double sl_s = geomeanSpeedup(workloads, sl_cfg, scale);
-        std::printf("%-8u %+9.1f%% %+9.1f%%\n", degree,
+        const std::string d = std::to_string(degree);
+        for (const auto& w : workloads)
+            specs.push_back({"triangel:deg" + d + ":" + w, tg, {w}});
+        for (const auto& w : workloads)
+            specs.push_back({"streamline:deg" + d + ":" + w, sl_cfg, {w}});
+    }
+    const auto jobs = runBatch(specs);
+
+    auto speedupAt = [&](std::size_t offset) {
+        std::vector<double> s;
+        for (std::size_t i = 0; i < workloads.size(); ++i)
+            s.push_back(jobs[offset + i].result.cores[0].ipc /
+                        baseline(workloads[i], scale).cores[0].ipc);
+        return geomean(s);
+    };
+
+    std::printf("%-8s %10s %10s\n", "degree", "triangel", "streamline");
+    for (std::size_t di = 0; di < degrees.size(); ++di) {
+        const std::size_t base_idx = di * 2 * workloads.size();
+        const double tg_s = speedupAt(base_idx);
+        const double sl_s = speedupAt(base_idx + workloads.size());
+        std::printf("%-8u %+9.1f%% %+9.1f%%\n", degrees[di],
                     100 * (tg_s - 1), 100 * (sl_s - 1));
         std::fflush(stdout);
     }

@@ -48,19 +48,27 @@ main()
     {
         const double mscale = std::min(scale, 0.2);
         const auto mixes = makeMixes(2, 3);
+        RunConfig base;
+        base.cores = 2;
+        base.l1 = "berti";
+        base.traceScale = mscale;
+        RunConfig tg = base;
+        tg.l2 = "triangel";
+        RunConfig sl_cfg = base;
+        sl_cfg.l2 = "streamline";
+        std::vector<ExperimentSpec> specs;
+        for (std::size_t i = 0; i < mixes.size(); ++i) {
+            const std::string id = "mix" + std::to_string(i);
+            specs.push_back({"berti:" + id, base, mixes[i]});
+            specs.push_back({"berti+triangel:" + id, tg, mixes[i]});
+            specs.push_back({"berti+streamline:" + id, sl_cfg, mixes[i]});
+        }
+        const auto jobs = runBatch(specs);
         std::vector<double> tg_all, sl_all;
-        for (const auto& mix : mixes) {
-            RunConfig base;
-            base.cores = 2;
-            base.l1 = L1Pf::Berti;
-            base.traceScale = mscale;
-            RunConfig tg = base;
-            tg.l2 = L2Pf::Triangel;
-            RunConfig sl_cfg = base;
-            sl_cfg.l2 = L2Pf::Streamline;
-            const auto b = runWorkloads(base, mix);
-            const auto t = runWorkloads(tg, mix);
-            const auto s = runWorkloads(sl_cfg, mix);
+        for (std::size_t i = 0; i < mixes.size(); ++i) {
+            const RunResult& b = jobs[3 * i].result;
+            const RunResult& t = jobs[3 * i + 1].result;
+            const RunResult& s = jobs[3 * i + 2].result;
             for (unsigned c = 0; c < 2; ++c) {
                 tg_all.push_back(t.cores[c].ipc / b.cores[c].ipc);
                 sl_all.push_back(s.cores[c].ipc / b.cores[c].ipc);
@@ -75,20 +83,17 @@ main()
     // ---- Fig 11c/d: L2 regular prefetchers ----
     std::printf("\n-- Fig 11c/d: L2 regular prefetchers (speedup /"
                 " coverage) --\n");
-    for (auto [pf, name] :
-         {std::pair{L2Pf::Ipcp, "ipcp"}, {L2Pf::Bingo, "bingo"},
-          {L2Pf::SppPpf, "spp-ppf"}, {L2Pf::Triangel, "triangel"},
-          {L2Pf::Streamline, "streamline"}}) {
+    warmBaselines(workloads, scale);
+    for (const char* name :
+         {"ipcp", "bingo", "spp_ppf", "triangel", "streamline"}) {
         RunConfig cfg;
-        cfg.l2 = pf;
+        cfg.l2 = name;
+        const auto runs = runAcross(cfg, workloads, scale, name);
         std::vector<double> speeds, covs;
-        for (const auto& w : workloads) {
-            RunConfig c = cfg;
-            c.traceScale = scale;
-            const auto r = runWorkload(c, w);
-            speeds.push_back(r.cores[0].ipc /
-                             baseline(w, scale).cores[0].ipc);
-            covs.push_back(r.cores[0].coverage());
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            speeds.push_back(runs[i].cores[0].ipc /
+                             baseline(workloads[i], scale).cores[0].ipc);
+            covs.push_back(runs[i].cores[0].coverage());
         }
         double cov = 0;
         for (double c : covs)

@@ -30,20 +30,23 @@ struct SweepPoint
 };
 
 SweepPoint
-runPoint(const StreamlineConfig& slc, double scale)
+runPoint(const StreamlineConfig& slc, double scale,
+         const std::string& label)
 {
     SweepPoint p;
     std::vector<double> speeds, covs;
     std::uint64_t missed = 0, trains = 0, aligned = 0, overlaps = 0;
     std::uint64_t redundant = 0, benign = 0;
-    for (const auto& w : sweepWorkloads()) {
-        RunConfig cfg;
-        cfg.l2 = L2Pf::Streamline;
-        cfg.streamline = slc;
-        cfg.traceScale = scale;
-        const auto r = runWorkload(cfg, w);
+    const auto workloads = sweepWorkloads();
+    warmBaselines(workloads, scale);
+    RunConfig cfg;
+    cfg.l2 = "streamline";
+    cfg.streamline = slc;
+    const auto runs = runAcross(cfg, workloads, scale, label);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const RunResult& r = runs[i];
         speeds.push_back(r.cores[0].ipc /
-                         baseline(w, scale).cores[0].ipc);
+                         baseline(workloads[i], scale).cores[0].ipc);
         covs.push_back(r.cores[0].coverage());
         const auto& s = r.l2PfStats[0];
         auto get = [&](const char* k) {
@@ -84,7 +87,8 @@ main()
         StreamlineConfig slc;
         slc.streamLength = len;
         slc.maxDegree = std::min(len, 4u);
-        const auto p = runPoint(slc, scale);
+        const auto p =
+            runPoint(slc, scale, "len" + std::to_string(len));
         std::printf("%-7u %10u %12.1f%% %8.1f%% %+8.1f%%\n", len,
                     streamCorrelationsPerBlock(len),
                     100 * p.missed_rate, 100 * p.coverage,
@@ -104,8 +108,9 @@ main()
         with.fixedDen = den;
         StreamlineConfig without = with;
         without.enableAlignment = false;
-        const auto a = runPoint(without, scale);
-        const auto b = runPoint(with, scale);
+        const std::string den_tag = "den" + std::to_string(den);
+        const auto a = runPoint(without, scale, den_tag + ":no-sa");
+        const auto b = runPoint(with, scale, den_tag + ":sa");
         std::printf("1/%-11u %15.2f%% %15.2f%% %7.1f%%\n", den,
                     100 * a.redundancy, 100 * b.redundancy,
                     100 * b.benign_frac);
@@ -120,7 +125,8 @@ main()
     for (unsigned buf : {1u, 2u, 3u, 4u, 6u}) {
         StreamlineConfig slc;
         slc.bufferEntries = buf;
-        const auto p = runPoint(slc, scale);
+        const auto p =
+            runPoint(slc, scale, "buf" + std::to_string(buf));
         std::printf("%-8u %11.1f%% %8.1f%%\n", buf, 100 * p.align_rate,
                     100 * p.coverage);
         std::fflush(stdout);

@@ -26,18 +26,18 @@ struct SizeResult
 };
 
 SizeResult
-runSized(const RunConfig& proto, double scale)
+runSized(const RunConfig& proto, double scale, const std::string& label)
 {
+    const auto workloads = sweepWorkloads();
+    warmBaselines(workloads, scale);
+    const auto runs = runAcross(proto, workloads, scale, label);
     std::vector<double> speeds;
     std::uint64_t traffic = 0, corr = 0;
-    for (const auto& w : sweepWorkloads()) {
-        RunConfig cfg = proto;
-        cfg.traceScale = scale;
-        const auto r = runWorkload(cfg, w);
-        speeds.push_back(r.cores[0].ipc /
-                         baseline(w, scale).cores[0].ipc);
-        traffic += r.metadataTraffic();
-        corr += r.storedCorrelations;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        speeds.push_back(runs[i].cores[0].ipc /
+                         baseline(workloads[i], scale).cores[0].ipc);
+        traffic += runs[i].metadataTraffic();
+        corr += runs[i].storedCorrelations;
     }
     return {geomean(speeds), traffic, corr};
 }
@@ -69,13 +69,14 @@ main()
          {SizePoint{"0.125x", 8, 1}, SizePoint{"0.25x", 4, 2},
           SizePoint{"0.5x", 2, 4}, SizePoint{"1.0x", 1, 8}}) {
         RunConfig tg;
-        tg.l2 = L2Pf::Triangel;
+        tg.l2 = "triangel";
         tg.triangel.maxWays = tg_ways;
         RunConfig sl_cfg;
-        sl_cfg.l2 = L2Pf::Streamline;
+        sl_cfg.l2 = "streamline";
         sl_cfg.streamline.fixedDen = den;
-        const auto t = runSized(tg, scale);
-        const auto s = runSized(sl_cfg, scale);
+        const auto t = runSized(tg, scale, std::string("triangel:") + label);
+        const auto s =
+            runSized(sl_cfg, scale, std::string("streamline:") + label);
         std::printf("%-9s | %+9.1f%% %12llu | %+9.1f%% %12llu\n", label,
                     100 * (t.speedup - 1),
                     static_cast<unsigned long long>(t.traffic),
@@ -85,8 +86,8 @@ main()
     }
     {
         RunConfig ideal;
-        ideal.l2 = L2Pf::TriangelIdeal;
-        const auto r = runSized(ideal, scale);
+        ideal.l2 = "triangel_ideal";
+        const auto r = runSized(ideal, scale, "triangel_ideal");
         std::printf("%-9s | %+9.1f%% %12s |\n", "tg-ideal",
                     100 * (r.speedup - 1), "-");
     }
@@ -97,12 +98,12 @@ main()
     // ---- Fig 13c: correlation hit rate ----
     std::printf("\n-- Fig 13c: correlation hit rate (replacement"
                 " policies) --\n");
-    auto corr_hit_rate = [&](const RunConfig& proto) {
+    auto corr_hit_rate = [&](const RunConfig& proto,
+                             const std::string& label) {
         double hits = 0, lookups = 0;
-        for (const auto& w : sweepWorkloads()) {
-            RunConfig cfg = proto;
-            cfg.traceScale = scale;
-            const auto r = runWorkload(cfg, w);
+        const auto runs =
+            runAcross(proto, sweepWorkloads(), scale, label);
+        for (const RunResult& r : runs) {
             if (!r.storeStats.empty()) {
                 auto get = [&](const char* k) {
                     auto it = r.storeStats.find(k);
@@ -138,13 +139,13 @@ main()
     tg_tpmj.triangel.useTpMockingjay = true;
 
     std::printf("streamline + TP-Mockingjay : %5.1f%%\n",
-                100 * corr_hit_rate(sl_tpmj));
+                100 * corr_hit_rate(sl_tpmj, "streamline:tpmj"));
     std::printf("streamline + SRRIP         : %5.1f%%\n",
-                100 * corr_hit_rate(sl_srrip));
+                100 * corr_hit_rate(sl_srrip, "streamline:srrip"));
     std::printf("triangel   + SRRIP         : %5.1f%%\n",
-                100 * corr_hit_rate(tg_srrip));
+                100 * corr_hit_rate(tg_srrip, "triangel:srrip"));
     std::printf("triangel   + TP-utility    : %5.1f%%\n",
-                100 * corr_hit_rate(tg_tpmj));
+                100 * corr_hit_rate(tg_tpmj, "triangel:tpmj"));
     std::printf("paper: TP-Mockingjay gives Streamline +21.5pp"
                 " correlation hit rate over Triangel and closes a third"
                 " of the gap when added to Triangel\n");

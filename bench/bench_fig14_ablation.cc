@@ -31,15 +31,18 @@ void
 row(const char* name, const StreamlineConfig& slc, double scale,
     double tg_speed, double tg_cov)
 {
+    const auto workloads = sweepWorkloads();
+    warmBaselines(workloads, scale);
+    RunConfig cfg;
+    cfg.l2 = "streamline";
+    cfg.streamline = slc;
+    const auto runs =
+        runAcross(cfg, workloads, scale, std::string("ablation:") + name);
     std::vector<double> speeds, covs, accs;
-    for (const auto& w : sweepWorkloads()) {
-        RunConfig cfg;
-        cfg.l2 = L2Pf::Streamline;
-        cfg.streamline = slc;
-        cfg.traceScale = scale;
-        const auto r = runWorkload(cfg, w);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const RunResult& r = runs[i];
         speeds.push_back(r.cores[0].ipc /
-                         baseline(w, scale).cores[0].ipc);
+                         baseline(workloads[i], scale).cores[0].ipc);
         covs.push_back(r.cores[0].coverage());
         accs.push_back(r.cores[0].accuracy());
     }
@@ -69,15 +72,17 @@ main()
     // Triangel reference for the coverage deltas the paper quotes.
     double tg_speed = 0, tg_cov = 0;
     {
+        const auto workloads = sweepWorkloads();
+        warmBaselines(workloads, scale);
+        RunConfig cfg;
+        cfg.l2 = "triangel";
+        const auto runs =
+            runAcross(cfg, workloads, scale, "triangel-ref");
         std::vector<double> speeds, covs;
-        for (const auto& w : sweepWorkloads()) {
-            RunConfig cfg;
-            cfg.l2 = L2Pf::Triangel;
-            cfg.traceScale = scale;
-            const auto r = runWorkload(cfg, w);
-            speeds.push_back(r.cores[0].ipc /
-                             baseline(w, scale).cores[0].ipc);
-            covs.push_back(r.cores[0].coverage());
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            speeds.push_back(runs[i].cores[0].ipc /
+                             baseline(workloads[i], scale).cores[0].ipc);
+            covs.push_back(runs[i].cores[0].coverage());
         }
         tg_speed = geomean(speeds);
         for (double c : covs)

@@ -20,8 +20,10 @@ using namespace sl::bench;
 double
 speedupOf(const StreamlineConfig& slc, double scale)
 {
+    // geomeanSpeedup batches the per-workload jobs (and the baselines)
+    // through the shared BatchRunner pool.
     RunConfig cfg;
-    cfg.l2 = L2Pf::Streamline;
+    cfg.l2 = "streamline";
     cfg.streamline = slc;
     return geomeanSpeedup(sweepWorkloads(), cfg, scale);
 }

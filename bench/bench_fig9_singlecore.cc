@@ -38,19 +38,32 @@ main()
         return false;
     };
 
+    // One batch covers the whole figure: 20 Triangel + 20 Streamline
+    // jobs drain across the SL_JOBS worker pool (baselines batched by
+    // warmBaselines just before).
+    warmBaselines(workloads, scale);
+    RunConfig tg_cfg;
+    tg_cfg.traceScale = scale;
+    tg_cfg.l2 = "triangel";
+    RunConfig sl_cfg = tg_cfg;
+    sl_cfg.l2 = "streamline";
+    std::vector<ExperimentSpec> specs;
+    for (const auto& w : workloads)
+        specs.push_back({"triangel:" + w, tg_cfg, {w}});
+    for (const auto& w : workloads)
+        specs.push_back({"streamline:" + w, sl_cfg, {w}});
+    const auto jobs = runBatch(specs);
+
     std::printf("%-20s %7s | %8s %6s %6s | %8s %6s %6s | %s\n",
                 "workload", "base", "triangel", "cov", "acc",
                 "streaml", "cov", "acc", "irr");
-    for (const auto& w : workloads) {
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const std::string& w = workloads[i];
         Row r{};
         const auto& b = baseline(w, scale);
         r.base_ipc = b.cores[0].ipc;
-        RunConfig cfg;
-        cfg.traceScale = scale;
-        cfg.l2 = L2Pf::Triangel;
-        const auto tg = runWorkload(cfg, w);
-        cfg.l2 = L2Pf::Streamline;
-        const auto sl_run = runWorkload(cfg, w);
+        const RunResult& tg = jobs[i].result;
+        const RunResult& sl_run = jobs[workloads.size() + i].result;
         r.tg_speed = tg.cores[0].ipc / r.base_ipc;
         r.sl_speed = sl_run.cores[0].ipc / r.base_ipc;
         r.tg_cov = tg.cores[0].coverage();
@@ -96,6 +109,13 @@ main()
                     100 * (geomean(sl_v) - 1), 100 * mean(cov_tg),
                     100 * mean(cov_sl), 100 * mean(acc_tg),
                     100 * mean(acc_sl));
+        JsonReport::instance().note(
+            "{\"summary\":\"" + jsonEscape(label) +
+            "\",\"n\":" + std::to_string(tg.size()) +
+            ",\"triangel_speedup\":" + jsonNumber(geomean(tg)) +
+            ",\"streamline_speedup\":" + jsonNumber(geomean(sl_v)) +
+            ",\"triangel_coverage\":" + jsonNumber(mean(cov_tg)) +
+            ",\"streamline_coverage\":" + jsonNumber(mean(cov_sl)) + "}");
     };
 
     std::printf("\n-- summary (geomean speedup over stride baseline) --\n");

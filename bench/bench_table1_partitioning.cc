@@ -10,12 +10,15 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "core/partition_schemes.hh"
 
 int
 main()
 {
     using namespace sl;
+    using namespace sl::bench;
+    JsonReport::instance().setBench("Table I: partitioning schemes");
     std::printf("== Table I: partitioning schemes ==\n");
     std::printf("%-8s %14s %14s %14s | %6s %6s %10s\n", "scheme",
                 "hit@small", "hit@big", "move-traffic", "small", "big",
@@ -45,6 +48,11 @@ main()
                     ok_small ? "ok" : "LOW", ok_big ? "ok" : "LOW",
                     ok_resize ? "free" : "COSTLY",
                     schemes[i].name() == "FTS" ? "   <- Streamline" : "");
+        JsonReport::instance().note(
+            "{\"scheme\":\"" + jsonEscape(schemes[i].name()) +
+            "\",\"hit_rate_small\":" + jsonNumber(m.hitRateSmall) +
+            ",\"hit_rate_big\":" + jsonNumber(m.hitRateBig) +
+            ",\"move_traffic\":" + std::to_string(m.moveTraffic) + "}");
     }
     std::printf("paper: only FTS avoids low associativity at both sizes"
                 " AND costly repartitioning\n");

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "sim/system.hh"
 #include "trace/workloads.hh"
 
@@ -38,6 +39,8 @@ show(const char* name, const sl::SystemConfig& c)
 int
 main()
 {
+    using namespace sl::bench;
+    JsonReport::instance().setBench("Table II: system parameters");
     std::printf("== Table II: system parameters ==\n");
     show("paper geometry", sl::paperGeometry());
     show("laptop-scaled default (capacities / 8; see DESIGN.md)",
@@ -51,6 +54,10 @@ main()
         sys.run();
         std::printf("self-check %-7s geometry: ipc=%.3f ok\n",
                     paper ? "paper" : "scaled", sys.core(0).ipc());
+        JsonReport::instance().note(
+            std::string("{\"geometry\":\"") +
+            (paper ? "paper" : "scaled") +
+            "\",\"ipc\":" + sl::jsonNumber(sys.core(0).ipc()) + "}");
     }
     return 0;
 }

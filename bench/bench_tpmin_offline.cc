@@ -33,6 +33,17 @@ main()
                         100.0 * m.correlationHits / m.accesses,
                         100.0 * p.triggerHits / p.accesses,
                         100.0 * p.correlationHits / p.accesses);
+            JsonReport::instance().note(
+                "{\"workload\":\"" + jsonEscape(w) +
+                "\",\"capacity\":" + std::to_string(cap) +
+                ",\"min_trigger_hit\":" +
+                jsonNumber(1.0 * m.triggerHits / m.accesses) +
+                ",\"min_correlation_hit\":" +
+                jsonNumber(1.0 * m.correlationHits / m.accesses) +
+                ",\"tpmin_trigger_hit\":" +
+                jsonNumber(1.0 * p.triggerHits / p.accesses) +
+                ",\"tpmin_correlation_hit\":" +
+                jsonNumber(1.0 * p.correlationHits / p.accesses) + "}");
             std::fflush(stdout);
         }
     }

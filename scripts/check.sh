@@ -29,11 +29,32 @@ run_mode() {
     ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
 }
 
+# One tiny bench through the BatchRunner on 2 worker threads; the JSON
+# block between ==JSON== / ==END-JSON== must parse and report its jobs.
+bench_smoke() {
+    local dir="$1"
+    echo "== bench smoke: BatchRunner JSON (${dir}) =="
+    local out="${dir}/bench_smoke.out"
+    SL_BENCH_SCALE=0.02 SL_JOBS=2 "${dir}/bench/bench_aliasing" > "${out}"
+    python3 - "${out}" <<'EOF'
+import json, sys
+text = open(sys.argv[1]).read()
+body = text.split("==JSON==")[1].split("==END-JSON==")[0]
+doc = json.loads(body)
+assert doc["threads"] == 2, doc["threads"]
+assert doc["jobs"], "no jobs recorded"
+assert all(j["ok"] for j in doc["jobs"]), "failed jobs in smoke run"
+print(f"bench smoke ok: {len(doc['jobs'])} jobs, "
+      f"{doc['wall_seconds']:.1f}s wall")
+EOF
+}
+
 case "${MODE}" in
-  plain)    run_mode plain build ;;
+  plain)    run_mode plain build; bench_smoke build ;;
   sanitize) run_mode asan+ubsan build-asan -DSL_SANITIZE=ON ;;
   all)
     run_mode plain build
+    bench_smoke build
     run_mode asan+ubsan build-asan -DSL_SANITIZE=ON
     ;;
   *) echo "usage: $0 [plain|sanitize|all]" >&2; exit 2 ;;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/hash.hh"
+#include "prefetch/registry.hh"
 
 namespace sl
 {
@@ -377,6 +378,19 @@ StreamlinePrefetcher::applyAllocation(unsigned den, unsigned ways,
         if (store_->allocated(s))
             llc_->reclaimReservedWays(physicalSet(s), now);
     }
+}
+
+void
+registerStreamlinePrefetchers(PrefetcherRegistry& reg)
+{
+    reg.add("streamline", PrefetcherRegistry::L2,
+            [](const PrefetcherTuning& t) -> PrefetcherFactory {
+                const StreamlineConfig cfg =
+                    t.streamline ? *t.streamline : StreamlineConfig{};
+                return [cfg](int) {
+                    return std::make_unique<StreamlinePrefetcher>(cfg);
+                };
+            });
 }
 
 } // namespace sl

@@ -107,9 +107,15 @@ class StreamlinePrefetcher : public Prefetcher, public PartitionPolicy
     UtilityPartitioner& partitioner() { return *uadp_; }
 
     /** Live correlations in the store. */
-    std::uint64_t storedCorrelations() const
+    std::uint64_t storedCorrelations() const override
     {
         return store_->correlations();
+    }
+
+    /** The stream store's counters (the runner snapshots these). */
+    const StatGroup* metadataStoreStats() const override
+    {
+        return &store_->stats();
     }
 
     /** Correlation hit rate (buffer + store hits over lookups). */

@@ -64,6 +64,20 @@ class Prefetcher : public CacheListener
      */
     virtual void audit(Cycle now) const { (void)now; }
 
+    /**
+     * Correlations resident in the metadata store at this instant; 0 for
+     * designs without one. Lets the runner report storage-efficiency
+     * metrics without knowing concrete prefetcher types.
+     */
+    virtual std::uint64_t storedCorrelations() const { return 0; }
+
+    /**
+     * Stat group of the backing metadata store, or null when the design
+     * has no separate store (regular prefetchers, pairwise temporal
+     * designs that fold store stats into their own group).
+     */
+    virtual const StatGroup* metadataStoreStats() const { return nullptr; }
+
     StatGroup& stats() { return stats_; }
     const StatGroup& stats() const { return stats_; }
     const std::string& name() const { return stats_.name(); }

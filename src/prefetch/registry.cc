@@ -1,0 +1,109 @@
+#include "prefetch/registry.hh"
+
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace sl
+{
+
+void
+PrefetcherRegistry::add(const std::string& name, int levels, Hook hook)
+{
+    SL_REQUIRE(!name.empty(), "prefetcher_registry",
+               "prefetcher name must be non-empty");
+    SL_REQUIRE(levels != 0, "prefetcher_registry",
+               "prefetcher '" << name << "' registers no cache level");
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& e : entries_)
+        SL_REQUIRE(e.name != name, "prefetcher_registry",
+                   "prefetcher '" << name << "' registered twice");
+    entries_.push_back({name, levels, std::move(hook)});
+}
+
+const PrefetcherRegistry::Entry&
+PrefetcherRegistry::find(const std::string& name, int level) const
+{
+    const Entry* named = nullptr;
+    for (const auto& e : entries_) {
+        if (e.name != name)
+            continue;
+        named = &e;
+        break;
+    }
+    if (named && (named->levels & level))
+        return *named;
+
+    const char* where = level == L1 ? "L1" : "L2";
+    std::ostringstream msg;
+    if (named)
+        msg << "prefetcher '" << name << "' cannot attach at " << where;
+    else
+        msg << "unknown prefetcher '" << name << "'";
+    msg << "; " << where << " names:";
+    for (const auto& e : entries_)
+        if (e.levels & level)
+            msg << " " << e.name;
+    throw SimError("prefetcher_registry", kNoErrorCycle, msg.str(),
+                   "[prefetcher_registry] " + msg.str());
+}
+
+PrefetcherFactory
+PrefetcherRegistry::make(const std::string& name, int level,
+                         const PrefetcherTuning& tuning) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return find(name, level).hook(tuning);
+}
+
+void
+PrefetcherRegistry::require(const std::string& name, int level) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    find(name, level);
+}
+
+bool
+PrefetcherRegistry::has(const std::string& name, int level) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& e : entries_)
+        if (e.name == name && (e.levels & level))
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+PrefetcherRegistry::names(int level) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    for (const auto& e : entries_)
+        if (e.levels & level)
+            out.push_back(e.name);
+    return out;
+}
+
+PrefetcherRegistry&
+prefetcherRegistry()
+{
+    static PrefetcherRegistry reg;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        // "none" is a real registry entry so validation accepts it and
+        // names() lists it; its factory is empty (no prefetcher built).
+        reg.add("none", PrefetcherRegistry::Both,
+                [](const PrefetcherTuning&) { return PrefetcherFactory{}; });
+        registerStridePrefetchers(reg);
+        registerBertiPrefetchers(reg);
+        registerIpcpPrefetchers(reg);
+        registerBingoPrefetchers(reg);
+        registerSppPrefetchers(reg);
+        registerStreamlinePrefetchers(reg);
+        registerTriagePrefetchers(reg);
+        registerTriangelPrefetchers(reg);
+    });
+    return reg;
+}
+
+} // namespace sl

@@ -1,0 +1,190 @@
+#include "sim/batch.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+namespace sl
+{
+
+unsigned
+defaultJobThreads()
+{
+    if (const char* env = std::getenv("SL_JOBS")) {
+        const long v = std::atol(env);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+BatchRunner::BatchRunner(unsigned threads)
+    : threads_(threads ? threads : defaultJobThreads())
+{
+}
+
+namespace
+{
+
+JobResult
+runOne(const ExperimentSpec& spec)
+{
+    JobResult jr;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        jr.result = runWorkloadsRaw(spec.config, spec.workloads);
+        jr.ok = true;
+    } catch (const SimError& err) {
+        jr.error = err;
+        jr.reproBundle =
+            formatReproBundle(spec.config, spec.workloads, err);
+    } catch (const std::exception& e) {
+        // Non-simulation failures (unknown workload, bad argument) are
+        // wrapped so every failure travels the same path.
+        SimError err("batch", kNoErrorCycle, e.what(),
+                     std::string("[batch] ") + e.what());
+        jr.error = err;
+        jr.reproBundle =
+            formatReproBundle(spec.config, spec.workloads, err);
+    }
+    jr.wallSeconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return jr;
+}
+
+} // namespace
+
+std::vector<JobResult>
+BatchRunner::run(const std::vector<ExperimentSpec>& specs) const
+{
+    std::vector<JobResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    const std::size_t workers =
+        std::min<std::size_t>(threads_, specs.size());
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            results[i] = runOne(specs[i]);
+        return results;
+    }
+
+    // Work-stealing by atomic ticket: results land at their submission
+    // index, so the output order never depends on thread interleaving.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&specs, &results, &next] {
+        for (std::size_t i = next.fetch_add(1); i < specs.size();
+             i = next.fetch_add(1))
+            results[i] = runOne(specs[i]);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (auto& th : pool)
+        th.join();
+    return results;
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::ostringstream os;
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << "\\u" << std::hex << std::setw(4)
+                   << std::setfill('0') << static_cast<int>(c)
+                   << std::dec << std::setfill(' ');
+            else
+                os << c;
+        }
+    }
+    return os.str();
+}
+
+std::string
+jsonNumber(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << v;
+    return os.str();
+}
+
+std::string
+toJson(const RunConfig& cfg)
+{
+    std::ostringstream os;
+    os << "{\"l1\":\"" << jsonEscape(cfg.l1Name()) << "\""
+       << ",\"l2\":\"" << jsonEscape(cfg.l2Name()) << "\""
+       << ",\"cores\":" << cfg.cores
+       << ",\"dram_mts\":" << cfg.dramMTs
+       << ",\"trace_scale\":" << jsonNumber(cfg.traceScale)
+       << ",\"seed\":" << cfg.seed << "}";
+    return os.str();
+}
+
+std::string
+toJson(const ExperimentSpec& spec, const JobResult& jr)
+{
+    std::ostringstream os;
+    os << "{\"label\":\"" << jsonEscape(spec.label) << "\""
+       << ",\"config\":" << toJson(spec.config)
+       << ",\"ok\":" << (jr.ok ? "true" : "false")
+       << ",\"wall_seconds\":" << jsonNumber(jr.wallSeconds);
+    if (!jr.ok && jr.error) {
+        os << ",\"error\":{\"component\":\""
+           << jsonEscape(jr.error->component()) << "\",\"what\":\""
+           << jsonEscape(jr.error->what()) << "\"}";
+    }
+    if (jr.ok) {
+        os << ",\"workloads\":[";
+        for (std::size_t c = 0; c < jr.result.cores.size(); ++c) {
+            const CoreResult& cr = jr.result.cores[c];
+            os << (c ? "," : "") << "{\"workload\":\""
+               << jsonEscape(cr.workload) << "\""
+               << ",\"ipc\":" << jsonNumber(cr.ipc)
+               << ",\"coverage\":" << jsonNumber(cr.coverage())
+               << ",\"accuracy\":" << jsonNumber(cr.accuracy()) << "}";
+        }
+        os << "]"
+           << ",\"metadata_traffic\":" << jr.result.metadataTraffic()
+           << ",\"dram_bytes\":" << jr.result.dramBytes
+           << ",\"stored_correlations\":"
+           << jr.result.storedCorrelations;
+    }
+    os << "}";
+    return os.str();
+}
+
+std::string
+batchJson(const std::string& bench,
+          const std::vector<ExperimentSpec>& specs,
+          const std::vector<JobResult>& results, unsigned threads,
+          double wall_seconds)
+{
+    std::ostringstream os;
+    os << "{\"bench\":\"" << jsonEscape(bench) << "\""
+       << ",\"threads\":" << threads
+       << ",\"wall_seconds\":" << jsonNumber(wall_seconds)
+       << ",\"jobs\":[";
+    for (std::size_t i = 0; i < results.size(); ++i)
+        os << (i ? "," : "") << toJson(specs[i], results[i]);
+    os << "]}";
+    return os.str();
+}
+
+} // namespace sl

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The experiment layer: declarative job lists over the runner.
+ *
+ * An ExperimentSpec names one (RunConfig, workloads) job; BatchRunner
+ * executes a list of them across a thread pool and returns results in
+ * submission order, bit-identical to serial execution (each job owns an
+ * independent seeded System and traces are immutable once synthesized,
+ * so scheduling order cannot leak into metrics — see DESIGN.md §7).
+ * Failed jobs carry their SimError and repro-bundle text instead of
+ * killing sibling jobs or racing on the bundle file.
+ *
+ * The batch JSON emitted by the benches (==JSON== ... ==END-JSON==) is
+ * produced here too, so every bench serializes identically.
+ */
+
+#ifndef SL_SIM_BATCH_HH
+#define SL_SIM_BATCH_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace sl
+{
+
+/** One batch job: a configuration applied to one workload set. */
+struct ExperimentSpec
+{
+    std::string label;                  //!< carried into tables/JSON
+    RunConfig config;
+    std::vector<std::string> workloads; //!< one per config.cores
+};
+
+/** Outcome of one job. */
+struct JobResult
+{
+    RunResult result;              //!< meaningful only when ok
+    bool ok = false;
+    std::optional<SimError> error; //!< set when !ok
+    std::string reproBundle;       //!< formatReproBundle() text when !ok
+    double wallSeconds = 0;
+};
+
+/** Worker count: $SL_JOBS if >= 1, else hardware_concurrency (min 1). */
+unsigned defaultJobThreads();
+
+/**
+ * Executes ExperimentSpecs on `threads` workers (0 = defaultJobThreads).
+ * run() never throws for per-job failures; inspect JobResult::ok.
+ */
+class BatchRunner
+{
+  public:
+    explicit BatchRunner(unsigned threads = 0);
+
+    unsigned threads() const { return threads_; }
+
+    std::vector<JobResult> run(const std::vector<ExperimentSpec>& specs)
+        const;
+
+  private:
+    unsigned threads_;
+};
+
+/** JSON-escape the contents of @p s (no surrounding quotes). */
+std::string jsonEscape(const std::string& s);
+
+/** Round-trippable double literal (max_digits10 precision). */
+std::string jsonNumber(double v);
+
+/** A RunConfig as a JSON object. */
+std::string toJson(const RunConfig& cfg);
+
+/** One (spec, result) pair as a JSON object. */
+std::string toJson(const ExperimentSpec& spec, const JobResult& jr);
+
+/**
+ * A whole batch as one JSON document:
+ * {"bench", "threads", "wall_seconds", "jobs": [...]}.
+ * Benches print this between ==JSON== / ==END-JSON== marker lines so
+ * scripts can slice it out of the human-readable output.
+ */
+std::string batchJson(const std::string& bench,
+                      const std::vector<ExperimentSpec>& specs,
+                      const std::vector<JobResult>& results,
+                      unsigned threads, double wall_seconds);
+
+} // namespace sl
+
+#endif // SL_SIM_BATCH_HH

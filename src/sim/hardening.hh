@@ -41,6 +41,20 @@ struct HardeningConfig
      * misses resolves in thousands of cycles, not tens of millions).
      */
     Cycle watchdogWindow = 20'000'000;
+
+    /** Reject self-defeating knob values; throws SimError. */
+    void
+    validate() const
+    {
+        // A window shorter than a handful of DRAM round-trips would trip
+        // on legitimate stalls; tests use 50K-cycle windows, so the floor
+        // sits well below that.
+        SL_REQUIRE(watchdogWindow == 0 || watchdogWindow >= 10'000,
+                   "hardening_config",
+                   "watchdogWindow " << watchdogWindow
+                                     << " is below the 10000-cycle floor "
+                                        "(0 disables the watchdog)");
+    }
 };
 
 /**

@@ -1,17 +1,15 @@
 #include "sim/runner.hh"
 
-#include <cassert>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "common/error.hh"
-#include "prefetch/berti.hh"
-#include "prefetch/bingo.hh"
-#include "prefetch/ipcp.hh"
-#include "prefetch/spp.hh"
-#include "prefetch/stride.hh"
+#include "prefetch/registry.hh"
+#include "sim/batch.hh"
 
 namespace sl
 {
@@ -19,86 +17,37 @@ namespace sl
 const char*
 l1PfName(L1Pf p)
 {
-    switch (p) {
-      case L1Pf::None: return "none";
-      case L1Pf::Stride: return "stride";
-      case L1Pf::Berti: return "berti";
-    }
-    return "?";
+    static constexpr const char* names[] = {"none", "stride", "berti"};
+    const auto i = static_cast<std::size_t>(p);
+    SL_REQUIRE(i < std::size(names), "run_config",
+               "L1Pf value " << i << " has no registry name");
+    return names[i];
 }
 
 const char*
 l2PfName(L2Pf p)
 {
-    switch (p) {
-      case L2Pf::None: return "none";
-      case L2Pf::Streamline: return "streamline";
-      case L2Pf::Triangel: return "triangel";
-      case L2Pf::TriangelIdeal: return "triangel_ideal";
-      case L2Pf::Triage: return "triage";
-      case L2Pf::TriageIdeal: return "triage_ideal";
-      case L2Pf::Ipcp: return "ipcp";
-      case L2Pf::Bingo: return "bingo";
-      case L2Pf::SppPpf: return "spp_ppf";
-    }
-    return "?";
+    static constexpr const char* names[] = {
+        "none",      "streamline",   "triangel",
+        "triangel_ideal", "triage",  "triage_ideal",
+        "ipcp",      "bingo",        "spp_ppf"};
+    const auto i = static_cast<std::size_t>(p);
+    SL_REQUIRE(i < std::size(names), "run_config",
+               "L2Pf value " << i << " has no registry name");
+    return names[i];
 }
 
 namespace
 {
 
-PrefetcherFactory
-makeL1Factory(const RunConfig& cfg)
+PrefetcherTuning
+tuningFor(const RunConfig& cfg)
 {
-    switch (cfg.l1) {
-      case L1Pf::None:
-        return nullptr;
-      case L1Pf::Stride:
-        return [](int) { return std::make_unique<StridePrefetcher>(3); };
-      case L1Pf::Berti:
-        return [](int) { return std::make_unique<BertiPrefetcher>(); };
-    }
-    return nullptr;
-}
-
-PrefetcherFactory
-makeL2Factory(const RunConfig& cfg)
-{
-    switch (cfg.l2) {
-      case L2Pf::None:
-        return nullptr;
-      case L2Pf::Streamline:
-        return [cfg](int) {
-            return std::make_unique<StreamlinePrefetcher>(cfg.streamline);
-        };
-      case L2Pf::Triangel:
-        return [cfg](int) {
-            return std::make_unique<TriangelPrefetcher>(cfg.triangel);
-        };
-      case L2Pf::TriangelIdeal:
-        return [cfg](int) {
-            TriangelConfig tc = cfg.triangel;
-            tc.ideal = true;
-            return std::make_unique<TriangelPrefetcher>(tc);
-        };
-      case L2Pf::Triage:
-        return [cfg](int) {
-            return std::make_unique<TriagePrefetcher>(cfg.triage);
-        };
-      case L2Pf::TriageIdeal:
-        return [cfg](int) {
-            TriageConfig tc = cfg.triage;
-            tc.unlimited = true;
-            return std::make_unique<TriagePrefetcher>(tc);
-        };
-      case L2Pf::Ipcp:
-        return [](int) { return std::make_unique<IpcpPrefetcher>(); };
-      case L2Pf::Bingo:
-        return [](int) { return std::make_unique<BingoPrefetcher>(); };
-      case L2Pf::SppPpf:
-        return [](int) { return std::make_unique<SppPrefetcher>(); };
-    }
-    return nullptr;
+    PrefetcherTuning t;
+    t.streamline = &cfg.streamline;
+    t.triangel = &cfg.triangel;
+    t.triage = &cfg.triage;
+    return t;
 }
 
 } // namespace
@@ -114,6 +63,10 @@ RunConfig::validate() const
                              << " is implausibly large (1.0 = paper "
                                 "footprint; <= 0 selects the default)");
     faults.validate();
+    hardening.validate();
+    PrefetcherRegistry& reg = prefetcherRegistry();
+    reg.require(l1Name(), PrefetcherRegistry::L1);
+    reg.require(l2Name(), PrefetcherRegistry::L2);
 }
 
 std::string
@@ -134,8 +87,8 @@ formatReproBundle(const RunConfig& cfg,
     os << "trace_scale = " << cfg.traceScale << " (resolved "
        << (cfg.traceScale > 0 ? cfg.traceScale : defaultTraceScale())
        << ")\n";
-    os << "l1_prefetcher = " << l1PfName(cfg.l1) << "\n";
-    os << "l2_prefetcher = " << l2PfName(cfg.l2) << "\n";
+    os << "l1_prefetcher = " << cfg.l1Name() << "\n";
+    os << "l2_prefetcher = " << cfg.l2Name() << "\n";
     os << "dram_mts = " << cfg.dramMTs << "\n";
     os << "fault.seed = " << cfg.faults.seed << "\n";
     os << "fault.metadata_bit_flip_rate = "
@@ -167,8 +120,8 @@ reproBundlePath()
 }
 
 RunResult
-runWorkloads(const RunConfig& cfg,
-             const std::vector<std::string>& workloads)
+runWorkloadsRaw(const RunConfig& cfg,
+                const std::vector<std::string>& workloads)
 {
     cfg.validate();
     SL_REQUIRE(workloads.size() == cfg.cores, "run_config",
@@ -181,24 +134,21 @@ runWorkloads(const RunConfig& cfg,
     for (const auto& w : workloads)
         traces.push_back(getTrace(w, cfg.traceScale, cfg.seed));
 
+    const PrefetcherTuning tuning = tuningFor(cfg);
+    PrefetcherRegistry& reg = prefetcherRegistry();
+
     SystemConfig sc;
     sc.cores = cfg.cores;
     sc.dramMTs = cfg.dramMTs;
-    sc.l1dPrefetcher = makeL1Factory(cfg);
-    sc.l2Prefetcher = makeL2Factory(cfg);
+    sc.l1dPrefetcher = reg.make(cfg.l1Name(), PrefetcherRegistry::L1,
+                                tuning);
+    sc.l2Prefetcher = reg.make(cfg.l2Name(), PrefetcherRegistry::L2,
+                               tuning);
     sc.faults = cfg.faults;
     sc.hardening = cfg.hardening;
 
     System sys(sc, traces);
-    try {
-        sys.run();
-    } catch (const SimError& err) {
-        // Serialize everything needed to replay the failure, then let
-        // the error propagate to the caller.
-        if (std::ofstream out(reproBundlePath()); out)
-            out << formatReproBundle(cfg, workloads, err);
-        throw;
-    }
+    sys.run();
 
     RunResult res;
     for (unsigned c = 0; c < cfg.cores; ++c) {
@@ -229,22 +179,32 @@ runWorkloads(const RunConfig& cfg,
     res.dramWrites = dram.get("writes");
     res.dramBytes = dram.get("bytes");
 
-    if (cfg.l2 == L2Pf::Streamline) {
-        auto* sl_pf =
-            static_cast<StreamlinePrefetcher*>(sys.l2Prefetcher(0));
-        for (const auto& [k, v] : sl_pf->store().stats().counters())
-            res.storeStats[k] = v.value();
-        res.storedCorrelations = sl_pf->storedCorrelations();
-    } else if (cfg.l2 == L2Pf::Triangel ||
-               cfg.l2 == L2Pf::TriangelIdeal) {
-        auto* tg = static_cast<TriangelPrefetcher*>(sys.l2Prefetcher(0));
-        res.storedCorrelations = tg->storedCorrelations();
-    } else if (cfg.l2 == L2Pf::Triage || cfg.l2 == L2Pf::TriageIdeal) {
-        auto* tr = static_cast<TriagePrefetcher*>(sys.l2Prefetcher(0));
-        res.storedCorrelations = tr->storedCorrelations();
+    // Probe counters come through the Prefetcher interface now, so the
+    // runner needs no knowledge of which class is attached.
+    if (Prefetcher* pf = sys.l2Prefetcher(0)) {
+        if (const StatGroup* store = pf->metadataStoreStats()) {
+            for (const auto& [k, v] : store->counters())
+                res.storeStats[k] = v.value();
+        }
+        res.storedCorrelations = pf->storedCorrelations();
     }
 
     return res;
+}
+
+RunResult
+runWorkloads(const RunConfig& cfg,
+             const std::vector<std::string>& workloads)
+{
+    try {
+        return runWorkloadsRaw(cfg, workloads);
+    } catch (const SimError& err) {
+        // Serialize everything needed to replay the failure, then let
+        // the error propagate to the caller.
+        if (std::ofstream out(reproBundlePath()); out)
+            out << formatReproBundle(cfg, workloads, err);
+        throw;
+    }
 }
 
 RunResult
@@ -260,21 +220,46 @@ irregularSubset(double scale)
 {
     if (scale <= 0)
         scale = defaultTraceScale();
+
+    static std::mutex mu;
     static std::map<double, std::vector<std::string>> cache;
-    if (auto it = cache.find(scale); it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (auto it = cache.find(scale); it != cache.end())
+            return it->second;
+    }
+
+    // Two jobs per workload (baseline + idealised Triage), batched so
+    // the subset probe parallelises like any other sweep.
+    const std::vector<std::string> names = workloadNames();
+    RunConfig base;
+    base.traceScale = scale;
+    RunConfig ideal = base;
+    ideal.l2 = L2Pf::TriageIdeal;
+
+    std::vector<ExperimentSpec> specs;
+    for (const auto& w : names) {
+        specs.push_back({"base:" + w, base, {w}});
+        specs.push_back({"ideal:" + w, ideal, {w}});
+    }
+    const std::vector<JobResult> jobs = BatchRunner().run(specs);
 
     std::vector<std::string> subset;
-    for (const auto& w : workloadNames()) {
-        RunConfig base;
-        base.traceScale = scale;
-        const double ipc_base = runWorkload(base, w).cores[0].ipc;
-        RunConfig ideal = base;
-        ideal.l2 = L2Pf::TriageIdeal;
-        const double ipc_ideal = runWorkload(ideal, w).cores[0].ipc;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        for (const JobResult* j : {&jobs[2 * i], &jobs[2 * i + 1]}) {
+            if (!j->ok) {
+                if (std::ofstream out(reproBundlePath()); out)
+                    out << j->reproBundle;
+                throw *j->error;
+            }
+        }
+        const double ipc_base = jobs[2 * i].result.cores[0].ipc;
+        const double ipc_ideal = jobs[2 * i + 1].result.cores[0].ipc;
         if (ipc_ideal >= 1.05 * ipc_base)
-            subset.push_back(w);
+            subset.push_back(names[i]);
     }
+
+    std::lock_guard<std::mutex> lock(mu);
     cache[scale] = subset;
     return subset;
 }
@@ -283,7 +268,10 @@ double
 speedupOver(const std::vector<double>& baseline_ipc,
             const std::vector<double>& variant_ipc)
 {
-    assert(baseline_ipc.size() == variant_ipc.size());
+    SL_REQUIRE(baseline_ipc.size() == variant_ipc.size(), "run_config",
+               "speedupOver needs matched series, got "
+                   << baseline_ipc.size() << " baseline vs "
+                   << variant_ipc.size() << " variant");
     std::vector<double> speedups;
     for (std::size_t i = 0; i < baseline_ipc.size(); ++i)
         speedups.push_back(variant_ipc[i] / baseline_ipc[i]);

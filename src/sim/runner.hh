@@ -21,10 +21,14 @@
 namespace sl
 {
 
-/** L1D prefetcher selection. */
+/**
+ * Legacy L1D prefetcher selection. The registry
+ * (prefetch/registry.hh) owns the name space now; these enums survive as
+ * thin shims so pre-registry call sites keep compiling.
+ */
 enum class L1Pf { None, Stride, Berti };
 
-/** L2 prefetcher selection. */
+/** Legacy L2 prefetcher selection (see L1Pf). */
 enum class L2Pf
 {
     None,
@@ -38,25 +42,64 @@ enum class L2Pf
     SppPpf
 };
 
+/** Registry name of a legacy enum value; throws SimError on a value
+ *  outside the enum (e.g. a stale cast). */
 const char* l1PfName(L1Pf p);
 const char* l2PfName(L2Pf p);
+
+/**
+ * A prefetcher selection: a registry name, assignable from a string
+ * ("streamline") or a legacy enum (L2Pf::Streamline). Keeps every
+ * pre-registry call site (`cfg.l2 = L2Pf::Triangel`) compiling while the
+ * string is the single source of truth.
+ */
+class PfSel
+{
+  public:
+    PfSel(std::string name) : name_(std::move(name)) {}
+    PfSel(const char* name) : name_(name) {}
+    PfSel(L1Pf p) : name_(l1PfName(p)) {}
+    PfSel(L2Pf p) : name_(l2PfName(p)) {}
+
+    const std::string& str() const { return name_; }
+
+    friend bool
+    operator==(const PfSel& a, const PfSel& b)
+    {
+        return a.name_ == b.name_;
+    }
+    friend bool
+    operator!=(const PfSel& a, const PfSel& b)
+    {
+        return !(a == b);
+    }
+
+  private:
+    std::string name_;
+};
 
 /** Everything needed to reproduce one run. */
 struct RunConfig
 {
     unsigned cores = 1;
-    L1Pf l1 = L1Pf::Stride;
-    L2Pf l2 = L2Pf::None;
-    StreamlineConfig streamline; //!< used when l2 == Streamline
-    TriangelConfig triangel;     //!< used for Triangel variants
-    TriageConfig triage;         //!< used for Triage variants
+    PfSel l1 = L1Pf::Stride;     //!< registry name; "stride" by default
+    PfSel l2 = L2Pf::None;       //!< registry name; "none" by default
+    StreamlineConfig streamline; //!< used by the "streamline" factory
+    TriangelConfig triangel;     //!< used by the "triangel*" factories
+    TriageConfig triage;         //!< used by the "triage*" factories
     unsigned dramMTs = 3200;
     double traceScale = -1.0;    //!< <=0: SL_TRACE_SCALE default
     std::uint64_t seed = 1;
     FaultConfig faults;          //!< deterministic fault injection (off)
     HardeningConfig hardening;   //!< auditor / watchdog knobs
 
-    /** Reject unrunnable configurations; throws SimError. */
+    const std::string& l1Name() const { return l1.str(); }
+    const std::string& l2Name() const { return l2.str(); }
+
+    /**
+     * Reject unrunnable configurations; throws SimError. Unknown
+     * prefetcher names fail here with the list of registered names.
+     */
     void validate() const;
 };
 
@@ -146,6 +189,16 @@ struct RunResult
  */
 RunResult runWorkloads(const RunConfig& cfg,
                        const std::vector<std::string>& workloads);
+
+/**
+ * Like runWorkloads but never touches the filesystem: SimError
+ * propagates without writing a repro bundle. This is what BatchRunner
+ * calls from worker threads, where concurrent failing jobs would race
+ * on the bundle file; the batch layer captures formatReproBundle()
+ * per job instead.
+ */
+RunResult runWorkloadsRaw(const RunConfig& cfg,
+                          const std::vector<std::string>& workloads);
 
 /**
  * The text serialized on a tripped run: everything needed to replay it

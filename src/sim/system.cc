@@ -83,6 +83,7 @@ SystemConfig::validate() const
     SL_REQUIRE(dramMTs > 0, "system_config",
                "DRAM transfer rate must be nonzero");
     faults.validate();
+    hardening.validate();
 }
 
 System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)

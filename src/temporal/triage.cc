@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.hh"
+#include "prefetch/registry.hh"
 
 namespace sl
 {
@@ -157,6 +158,28 @@ TriagePrefetcher::maybeResize()
         for (std::uint32_t s = 0; s < metadataSets(); ++s)
             llc_->reclaimReservedWays(physicalSet(s), 0);
     }
+}
+
+void
+registerTriagePrefetchers(PrefetcherRegistry& reg)
+{
+    reg.add("triage", PrefetcherRegistry::L2,
+            [](const PrefetcherTuning& t) -> PrefetcherFactory {
+                const TriageConfig cfg = t.triage ? *t.triage : TriageConfig{};
+                return [cfg](int) {
+                    return std::make_unique<TriagePrefetcher>(cfg);
+                };
+            });
+    // Config-override hook: the idealised variant is the same class with
+    // unbounded zero-cost metadata forced on.
+    reg.add("triage_ideal", PrefetcherRegistry::L2,
+            [](const PrefetcherTuning& t) -> PrefetcherFactory {
+                TriageConfig cfg = t.triage ? *t.triage : TriageConfig{};
+                cfg.unlimited = true;
+                return [cfg](int) {
+                    return std::make_unique<TriagePrefetcher>(cfg);
+                };
+            });
 }
 
 } // namespace sl

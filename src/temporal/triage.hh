@@ -74,7 +74,7 @@ class TriagePrefetcher : public Prefetcher, public PartitionPolicy
     }
 
     /** Correlations currently stored (used by capacity probes). */
-    std::uint64_t storedCorrelations() const;
+    std::uint64_t storedCorrelations() const override;
 
   private:
     struct TuEntry

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.hh"
+#include "prefetch/registry.hh"
 
 namespace sl
 {
@@ -266,6 +267,28 @@ TriangelPrefetcher::maybeResize(Cycle now)
         for (std::uint32_t s = 0; s < metadataSets(); ++s)
             llc_->reclaimReservedWays(physicalSet(s), now);
     }
+}
+
+void
+registerTriangelPrefetchers(PrefetcherRegistry& reg)
+{
+    reg.add("triangel", PrefetcherRegistry::L2,
+            [](const PrefetcherTuning& t) -> PrefetcherFactory {
+                const TriangelConfig cfg =
+                    t.triangel ? *t.triangel : TriangelConfig{};
+                return [cfg](int) {
+                    return std::make_unique<TriangelPrefetcher>(cfg);
+                };
+            });
+    // Config-override hook: dedicated full-size store, no LLC metadata.
+    reg.add("triangel_ideal", PrefetcherRegistry::L2,
+            [](const PrefetcherTuning& t) -> PrefetcherFactory {
+                TriangelConfig cfg = t.triangel ? *t.triangel : TriangelConfig{};
+                cfg.ideal = true;
+                return [cfg](int) {
+                    return std::make_unique<TriangelPrefetcher>(cfg);
+                };
+            });
 }
 
 } // namespace sl

@@ -80,7 +80,10 @@ class TriangelPrefetcher : public Prefetcher, public PartitionPolicy
         return currentWays_;
     }
 
-    std::uint64_t storedCorrelations() const { return store_->size(); }
+    std::uint64_t storedCorrelations() const override
+    {
+        return store_->size();
+    }
     unsigned currentWays() const { return currentWays_; }
 
     /** Fraction of issued prefetches later consumed (for reports). */

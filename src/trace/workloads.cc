@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "trace/kernels.hh"
@@ -73,6 +74,14 @@ namespace
 
 using TraceKey = std::tuple<std::string, double, std::uint64_t>;
 
+// BatchRunner workers memoise through here concurrently.
+std::mutex&
+traceCacheMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
 std::map<TraceKey, TracePtr>&
 traceCache()
 {
@@ -88,15 +97,21 @@ getTrace(const std::string& name, double scale, std::uint64_t seed)
     if (scale <= 0.0)
         scale = defaultTraceScale();
     const TraceKey key{name, scale, seed};
-    auto& cache = traceCache();
-    if (auto it = cache.find(key); it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(traceCacheMutex());
+        auto& cache = traceCache();
+        if (auto it = cache.find(key); it != cache.end())
+            return it->second;
+    }
 
     for (const auto& w : workloadRegistry()) {
         if (w.name == name) {
+            // Synthesis runs outside the lock: it is deterministic per
+            // key, so two threads racing here build identical traces and
+            // the loser's copy is simply dropped.
             auto t = std::make_shared<Trace>(w.make(scale, seed));
-            cache.emplace(key, t);
-            return t;
+            std::lock_guard<std::mutex> lock(traceCacheMutex());
+            return traceCache().emplace(key, t).first->second;
         }
     }
     throw std::invalid_argument("unknown workload: " + name);
@@ -105,6 +120,7 @@ getTrace(const std::string& name, double scale, std::uint64_t seed)
 void
 clearTraceCache()
 {
+    std::lock_guard<std::mutex> lock(traceCacheMutex());
     traceCache().clear();
 }
 
