@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmark (not a paper figure).
+ *
+ * Every figure bench sweeps ten prefetcher variants across dozens of
+ * workloads, so wall-clock simulator speed bounds experiment scale. This
+ * bench pins that number down: it runs a fixed workload x prefetcher
+ * matrix through the same System::run hot path the figure benches use
+ * and reports simulated kilocycles per wall-second and retired MIPS per
+ * configuration, between the usual ==JSON== markers. check.sh's
+ * `simspeed` stage snapshots the result into BENCH_simspeed.json at the
+ * repo root so successive PRs accumulate a perf trajectory.
+ *
+ * Knobs: SL_BENCH_SCALE (trace scale, default 0.25), SL_SIMSPEED_REPS
+ * (repetitions per cell, best-of is reported; default 3). Jobs always
+ * run serially on one thread: this bench measures single-job latency,
+ * not batch throughput.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "prefetch/registry.hh"
+#include "sim/system.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace sl;
+
+struct Cell
+{
+    std::string config;
+    std::string workload;
+    std::uint64_t simCycles = 0;
+    std::uint64_t retired = 0;
+    double wallSeconds = 0; //!< best (minimum) over the repetitions
+};
+
+unsigned
+reps()
+{
+    if (const char* env = std::getenv("SL_SIMSPEED_REPS")) {
+        const long v = std::atol(env);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    return 3;
+}
+
+/** One timed single-core run; the System is rebuilt every repetition so
+ *  each measurement pays the same cold-structure costs. */
+Cell
+timeCell(const std::string& config, const std::string& l2,
+         const std::string& workload, double scale, unsigned repetitions)
+{
+    PrefetcherRegistry& reg = prefetcherRegistry();
+    const PrefetcherTuning tuning; // registry defaults for every family
+
+    Cell cell;
+    cell.config = config;
+    cell.workload = workload;
+    for (unsigned r = 0; r < repetitions; ++r) {
+        TracePtr trace = getTrace(workload, scale, /*seed=*/1);
+        SystemConfig sc;
+        sc.l1dPrefetcher =
+            reg.make("stride", PrefetcherRegistry::L1, tuning);
+        sc.l2Prefetcher = reg.make(l2, PrefetcherRegistry::L2, tuning);
+
+        System sys(sc, {trace});
+        const auto t0 = std::chrono::steady_clock::now();
+        sys.run();
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+
+        if (r == 0 || wall < cell.wallSeconds) {
+            cell.wallSeconds = wall;
+            cell.simCycles = sys.eventQueue().now();
+            cell.retired = sys.totalRetired();
+        }
+    }
+    return cell;
+}
+
+double
+kcps(const Cell& c)
+{
+    return c.wallSeconds > 0
+               ? static_cast<double>(c.simCycles) / 1e3 / c.wallSeconds
+               : 0;
+}
+
+double
+mips(const Cell& c)
+{
+    return c.wallSeconds > 0
+               ? static_cast<double>(c.retired) / 1e6 / c.wallSeconds
+               : 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    using sl::bench::JsonReport;
+
+    sl::bench::banner("bench_simspeed");
+    const double scale = sl::bench::benchScale();
+    const unsigned repetitions = reps();
+    std::printf("   %u repetition(s) per cell, best-of reported\n",
+                repetitions);
+
+    // The matrix: the paper's own scheme, the heaviest temporal baseline,
+    // and the no-L2-prefetcher hierarchy, over a pointer-chasing SPEC
+    // trace and a graph kernel.
+    const std::vector<std::pair<std::string, std::string>> configs = {
+        {"baseline", "none"},
+        {"streamline", "streamline"},
+        {"triangel", "triangel"},
+    };
+    const std::vector<std::string> workloads = {"spec06_mcf", "gap_bfs"};
+
+    std::printf("%-12s %-14s %12s %12s %10s %12s %10s\n", "config",
+                "workload", "sim_Mcycles", "retired_Mi", "wall_s",
+                "kcycles/s", "MIPS");
+
+    for (const auto& [name, l2] : configs) {
+        std::uint64_t cfg_cycles = 0;
+        std::uint64_t cfg_retired = 0;
+        double cfg_wall = 0;
+        for (const auto& w : workloads) {
+            const Cell c = timeCell(name, l2, w, scale, repetitions);
+            std::printf("%-12s %-14s %12.1f %12.1f %10.3f %12.0f %10.1f\n",
+                        c.config.c_str(), c.workload.c_str(),
+                        c.simCycles / 1e6, c.retired / 1e6, c.wallSeconds,
+                        kcps(c), mips(c));
+            JsonReport::instance().note(
+                "{\"kind\":\"simspeed_cell\",\"config\":\"" + c.config +
+                "\",\"workload\":\"" + c.workload +
+                "\",\"sim_cycles\":" + std::to_string(c.simCycles) +
+                ",\"retired_instructions\":" + std::to_string(c.retired) +
+                ",\"wall_seconds\":" + sl::jsonNumber(c.wallSeconds) +
+                ",\"sim_kcycles_per_sec\":" + sl::jsonNumber(kcps(c)) +
+                ",\"retired_mips\":" + sl::jsonNumber(mips(c)) + "}");
+            cfg_cycles += c.simCycles;
+            cfg_retired += c.retired;
+            cfg_wall += c.wallSeconds;
+        }
+        const double cfg_kcps =
+            cfg_wall > 0 ? cfg_cycles / 1e3 / cfg_wall : 0;
+        const double cfg_mips =
+            cfg_wall > 0 ? cfg_retired / 1e6 / cfg_wall : 0;
+        std::printf("%-12s %-14s %12.1f %12.1f %10.3f %12.0f %10.1f\n",
+                    name.c_str(), "(all)", cfg_cycles / 1e6,
+                    cfg_retired / 1e6, cfg_wall, cfg_kcps, cfg_mips);
+        JsonReport::instance().note(
+            "{\"kind\":\"simspeed_config\",\"config\":\"" + name +
+            "\",\"sim_cycles\":" + std::to_string(cfg_cycles) +
+            ",\"retired_instructions\":" + std::to_string(cfg_retired) +
+            ",\"wall_seconds\":" + sl::jsonNumber(cfg_wall) +
+            ",\"sim_kcycles_per_sec\":" + sl::jsonNumber(cfg_kcps) +
+            ",\"retired_mips\":" + sl::jsonNumber(cfg_mips) + "}");
+    }
+    return 0;
+}

@@ -5,6 +5,7 @@
 #   scripts/check.sh            # both modes
 #   scripts/check.sh plain      # plain build only
 #   scripts/check.sh sanitize   # sanitizer build only
+#   scripts/check.sh simspeed   # simulator-speed snapshot (warn-only)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,15 +50,58 @@ print(f"bench smoke ok: {len(doc['jobs'])} jobs, "
 EOF
 }
 
+# Simulator-speed snapshot: run bench_simspeed on a tiny matrix, parse
+# its JSON, and fold the per-config throughput into BENCH_simspeed.json
+# at the repo root (perf trajectory across PRs). Warn-only: a slow run
+# on a loaded machine must not fail the build.
+simspeed() {
+    local dir="$1"
+    echo "== simspeed: throughput snapshot (${dir}) =="
+    cmake --build "${dir}" --target bench_simspeed -j
+    local out="${dir}/bench_simspeed.out"
+    SL_BENCH_SCALE="${SL_SIMSPEED_SCALE:-0.05}" SL_JOBS=1 \
+        "${dir}/bench/bench_simspeed" > "${out}"
+    python3 - "${out}" BENCH_simspeed.json <<'EOF'
+import json, sys
+text = open(sys.argv[1]).read()
+body = text.split("==JSON==")[1].split("==END-JSON==")[0]
+doc = json.loads(body)
+configs = {n["config"]: n for n in doc["notes"]
+           if n["kind"] == "simspeed_config"}
+assert configs, "no simspeed_config notes in bench output"
+path = sys.argv[2]
+try:
+    snap = json.load(open(path))
+except (FileNotFoundError, json.JSONDecodeError):
+    snap = {}
+prev = snap.get("current", {}).get("kcycles_per_sec", {})
+cur = {c: n["sim_kcycles_per_sec"] for c, n in configs.items()}
+snap["current"] = {
+    "scale": float(text.split("scale=")[1].split()[0]),
+    "kcycles_per_sec": cur,
+    "retired_mips": {c: n["retired_mips"] for c, n in configs.items()},
+}
+for c, kcps in cur.items():
+    if c in prev and prev[c] > 0 and kcps < 0.7 * prev[c]:
+        print(f"WARNING: simspeed regression on '{c}': "
+              f"{kcps:.0f} kc/s vs previous {prev[c]:.0f} kc/s")
+json.dump(snap, open(path, "w"), indent=2, sort_keys=True)
+print(f"simspeed snapshot -> {path}: " +
+      ", ".join(f"{c}={v:.0f}kc/s" for c, v in sorted(cur.items())))
+EOF
+}
+
 case "${MODE}" in
   plain)    run_mode plain build; bench_smoke build ;;
   sanitize) run_mode asan+ubsan build-asan -DSL_SANITIZE=ON ;;
+  simspeed) cmake -B build -S .; simspeed build ;;
   all)
     run_mode plain build
     bench_smoke build
     run_mode asan+ubsan build-asan -DSL_SANITIZE=ON
+    simspeed build
     ;;
-  *) echo "usage: $0 [plain|sanitize|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [plain|sanitize|simspeed|all]" >&2; exit 2 ;;
 esac
 
 echo "check.sh: all requested modes green"

@@ -3,13 +3,17 @@
 namespace sl
 {
 
-Cache::Cache(const CacheParams& params, EventQueue& eq, MemLevel* next)
+Cache::Cache(const CacheParams& params, EventQueue& eq, MemLevel* next,
+             RequestPool* pool)
     : params_(params), eq_(eq), next_(next),
+      ownPool_(pool ? nullptr : std::make_unique<RequestPool>()),
+      pool_(pool ? pool : ownPool_.get()),
       numSets_(static_cast<std::uint32_t>(
           params.ways == 0
               ? 0
               : params.sizeBytes / kBlockBytes / params.ways)),
       blocks_(static_cast<std::size_t>(numSets_) * params.ways),
+      mshrs_(params.mshrs == 0 ? 1 : params.mshrs),
       stats_(params.name)
 {
     const char* comp = params_.name.empty() ? "cache" : params_.name.c_str();
@@ -23,15 +27,14 @@ Cache::Cache(const CacheParams& params, EventQueue& eq, MemLevel* next)
                    << params_.ways << " ways)");
 }
 
-Cache::~Cache()
-{
-    // Requests are owned by the hierarchy until completion; anything
-    // still parked in an MSHR waiter list at teardown is ours to free.
-    for (auto& [addr, m] : mshrs_) {
-        for (MemRequest* w : m.waiters)
-            delete w;
-    }
-}
+// Requests still parked in MSHR waiter lists at teardown are abandoned,
+// not disposed: a waiter may belong to an upstream component's private
+// pool that is already gone (member destruction order), so even reading
+// its owner field would be a use-after-free. Pooled requests are
+// reclaimed wholesale when their arena frees its chunks; heap-allocated
+// ones follow the documented run-to-completion ownership model (see
+// README — leak checking is off for exactly this class of teardown).
+Cache::~Cache() = default;
 
 std::uint32_t
 Cache::setIndex(Addr addr) const
@@ -91,14 +94,14 @@ Cache::handleAt(MemRequest* req, Cycle start)
 
     if (req->kind == ReqKind::Writeback) {
         // Writebacks allocate here (write-validate); no response needed.
-        ++stats_.counter("writeback_in");
+        ++ctr_.writebackIn;
         if (Block* b = findBlock(req->addr)) {
             b->dirty = true;
             b->lru = ++lruTick_;
         } else {
             installFill(req->addr, false, false, true, start);
         }
-        delete req;
+        disposeRequest(req);
         return;
     }
 
@@ -109,11 +112,11 @@ Cache::handleAt(MemRequest* req, Cycle start)
     const bool fresh = !req->retried;
     if (fresh) {
         if (demand) {
-            ++stats_.counter("demand_accesses");
+            ++ctr_.demandAccesses;
             if (req->kind == ReqKind::DemandStore)
-                ++stats_.counter("demand_stores");
+                ++ctr_.demandStores;
         } else {
-            ++stats_.counter("prefetch_requests");
+            ++ctr_.prefetchRequests;
         }
     }
 
@@ -130,11 +133,11 @@ Cache::handleAt(MemRequest* req, Cycle start)
         b->lru = ++lruTick_;
         if (demand) {
             if (fresh)
-                ++stats_.counter("demand_hits");
+                ++ctr_.demandHits;
             if (b->prefetched) {
                 b->prefetched = false;
                 if (b->prefetchOriginHere)
-                    ++stats_.counter("prefetch_useful");
+                    ++ctr_.prefetchUseful;
                 info.prefetchHit = true;
             }
             if (req->kind == ReqKind::DemandStore)
@@ -145,18 +148,18 @@ Cache::handleAt(MemRequest* req, Cycle start)
         } else {
             // Prefetch for a resident block.
             if (req->origin == this)
-                ++stats_.counter("prefetch_redundant");
+                ++ctr_.prefetchRedundant;
             if (req->client)
                 respond(req, start + params_.latency);
             else
-                delete req;
+                disposeRequest(req);
         }
         return;
     }
 
     // ----- miss -----
     if (demand && fresh) {
-        ++stats_.counter("demand_misses");
+        ++ctr_.demandMisses;
         AccessInfo info;
         info.addr = req->addr;
         info.pc = req->pc;
@@ -169,49 +172,44 @@ Cache::handleAt(MemRequest* req, Cycle start)
             listener_->onAccess(info);
     }
 
-    auto it = mshrs_.find(req->addr);
-    if (it != mshrs_.end()) {
+    if (Mshr* m = mshrs_.find(req->addr)) {
         // Merge into the outstanding miss.
-        Mshr& m = it->second;
         if (demand) {
-            if (m.prefetchOnly && !m.demandMerged) {
-                m.demandMerged = true;
-                if (m.prefetchOriginHere)
-                    ++stats_.counter("prefetch_late");
+            if (m->prefetchOnly && !m->demandMerged) {
+                m->demandMerged = true;
+                if (m->prefetchOriginHere)
+                    ++ctr_.prefetchLate;
             }
-            m.waiters.push_back(req);
+            m->waiters.push_back(req);
         } else if (req->client) {
             // Upstream-originated prefetch: it still needs a response.
-            m.waiters.push_back(req);
+            m->waiters.push_back(req);
         } else {
             if (req->origin == this)
-                ++stats_.counter("prefetch_redundant");
-            delete req;
+                ++ctr_.prefetchRedundant;
+            disposeRequest(req);
         }
         return;
     }
 
-    if (mshrs_.size() >= params_.mshrs) {
+    if (mshrs_.full()) {
         // Structural stall: retry a few cycles later.
-        ++stats_.counter("mshr_retries");
+        ++ctr_.mshrRetries;
         MemRequest* r = req;
         r->retried = true;
-        eq_.schedule(start + 4, [this, r, start] {
-            handleAt(r, reservePort(start + 4));
-        });
+        eq_.schedule(start + 4,
+                     [this, r](Cycle now) { handleAt(r, reservePort(now)); });
         return;
     }
 
-    Mshr m;
-    m.addr = req->addr;
+    Mshr& m = mshrs_.insert(req->addr);
     m.prefetchOnly = !demand;
     m.prefetchOriginHere = !demand && req->origin == this;
     if (demand || req->client)
         m.waiters.push_back(req);
-    mshrs_.emplace(req->addr, std::move(m));
 
     // Forward downstream after the lookup latency.
-    auto* down = new MemRequest;
+    MemRequest* down = pool_->acquire();
     down->addr = req->addr;
     down->pc = req->pc;
     down->coreId = req->coreId;
@@ -220,9 +218,9 @@ Cache::handleAt(MemRequest* req, Cycle start)
     down->origin = req->origin;
     if (!demand) {
         if (req->origin == this)
-            ++stats_.counter("prefetch_issued");
+            ++ctr_.prefetchIssued;
         if (!req->client)
-            delete req; // locally originated prefetch has no waiter
+            disposeRequest(req); // locally originated prefetch, no waiter
     }
     SL_CHECK_AT(next_ != nullptr, params_.name.c_str(), start,
                 "miss with no downstream level to forward to");
@@ -230,34 +228,41 @@ Cache::handleAt(MemRequest* req, Cycle start)
         // Injected fault: the downstream message vanishes (hung
         // controller). The MSHR stays allocated with nothing in flight —
         // exactly the state the auditor and watchdog exist to catch.
-        delete down;
+        disposeRequest(down);
         return;
     }
     ++outstandingDownstream_;
-    const Cycle send = start + params_.latency;
-    eq_.schedule(send, [this, down, send] { next_->access(down, send); });
+    eq_.schedule(start + params_.latency,
+                 [this, down](Cycle now) { next_->access(down, now); });
 }
 
 void
 Cache::requestDone(const MemRequest& req, Cycle now)
 {
-    auto it = mshrs_.find(req.addr);
-    SL_CHECK_AT(it != mshrs_.end(), params_.name.c_str(), now,
+    Mshr* m = mshrs_.find(req.addr);
+    SL_CHECK_AT(m != nullptr, params_.name.c_str(), now,
                 "fill for block 0x" << std::hex << req.addr << std::dec
                                     << " without a matching MSHR");
     SL_CHECK_AT(outstandingDownstream_ > 0, params_.name.c_str(), now,
                 "fill arrived with no downstream request in flight");
     --outstandingDownstream_;
-    Mshr m = std::move(it->second);
-    mshrs_.erase(it);
+    const bool prefetch_only = m->prefetchOnly;
+    const bool demand_merged = m->demandMerged;
+    const bool origin_here = m->prefetchOriginHere;
+    // Steal the waiter list into the reusable member (swap keeps both
+    // vectors' capacities alive), then free the MSHR before installing:
+    // the fill path must see this miss as resolved.
+    fillWaiters_.clear();
+    std::swap(fillWaiters_, m->waiters);
+    mshrs_.erase(req.addr);
 
     bool store = false;
-    for (MemRequest* w : m.waiters) {
+    for (const MemRequest* w : fillWaiters_) {
         if (w->kind == ReqKind::DemandStore)
             store = true;
     }
 
-    const bool mark_prefetched = m.prefetchOnly && !m.demandMerged;
+    const bool mark_prefetched = prefetch_only && !demand_merged;
     // Injected fault: a prefetch-only fill may be dropped on the floor.
     // Demand-serving fills are never dropped — prefetches are hints,
     // demand correctness is not negotiable. Waiters (upstream prefetch
@@ -267,14 +272,13 @@ Cache::requestDone(const MemRequest& req, Cycle now)
     if (drop_fill)
         ++stats_.counter("prefetch_fills_dropped");
     else
-        installFill(req.addr, mark_prefetched, m.prefetchOriginHere, store,
-                    now);
-    if (m.prefetchOnly && m.demandMerged && m.prefetchOriginHere) {
+        installFill(req.addr, mark_prefetched, origin_here, store, now);
+    if (prefetch_only && demand_merged && origin_here) {
         // The prefetch fetched data a demand wanted before arrival.
-        ++stats_.counter("prefetch_useful");
+        ++ctr_.prefetchUseful;
     }
 
-    for (MemRequest* w : m.waiters)
+    for (MemRequest* w : fillWaiters_)
         respond(w, now);
 }
 
@@ -297,15 +301,15 @@ Cache::installFill(Addr addr, bool prefetched, bool origin_here,
     }
     if (!victim) {
         // Entire set reserved for metadata: the fill bypasses this cache.
-        ++stats_.counter("fill_bypassed");
+        ++ctr_.fillBypassed;
         return;
     }
 
     if (victim->valid) {
-        ++stats_.counter("evictions");
+        ++ctr_.evictions;
         if (victim->dirty && next_) {
-            ++stats_.counter("writebacks");
-            auto* wb = new MemRequest;
+            ++ctr_.writebacks;
+            MemRequest* wb = pool_->acquire();
             wb->addr = victim->tag << kBlockShift;
             wb->kind = ReqKind::Writeback;
             next_->access(wb, now);
@@ -324,20 +328,19 @@ void
 Cache::respond(MemRequest* req, Cycle when)
 {
     if (req->client) {
-        MemRequest* r = req;
-        eq_.schedule(when, [r, when] {
-            r->client->requestDone(*r, when);
-            delete r;
+        eq_.schedule(when, [req](Cycle now) {
+            req->client->requestDone(*req, now);
+            disposeRequest(req);
         });
     } else {
-        delete req;
+        disposeRequest(req);
     }
 }
 
 void
 Cache::issuePrefetch(Addr addr, PC pc, int core_id, Cycle now)
 {
-    auto* req = new MemRequest;
+    MemRequest* req = pool_->acquire();
     req->addr = blockAlign(addr);
     req->pc = pc;
     req->coreId = core_id;
@@ -351,7 +354,7 @@ Cycle
 Cache::metadataAccess(bool write, Cycle now)
 {
     const Cycle start = reservePort(now);
-    ++stats_.counter(write ? "metadata_writes" : "metadata_reads");
+    ++(write ? ctr_.metadataWrites : ctr_.metadataReads);
     return start + params_.latency;
 }
 
@@ -379,13 +382,18 @@ Cache::audit(Cycle now) const
                     << " MSHRs allocated but " << outstandingDownstream_
                     << " downstream requests in flight (a miss request "
                        "was lost or double-answered)");
-    for (const auto& [addr, m] : mshrs_) {
-        SL_CHECK_AT(addr == blockAlign(addr) && addr == m.addr, comp, now,
-                    "corrupt MSHR key 0x" << std::hex << addr << std::dec);
+    mshrs_.forEach([&](const Mshr& m) {
+        SL_CHECK_AT(m.addr == blockAlign(m.addr), comp, now,
+                    "corrupt MSHR key 0x" << std::hex << m.addr
+                                          << std::dec);
+        SL_CHECK_AT(mshrs_.find(m.addr) == &m, comp, now,
+                    "MSHR for block 0x" << std::hex << m.addr << std::dec
+                                        << " is unreachable from its "
+                                           "probe chain");
         for (const MemRequest* w : m.waiters)
-            SL_CHECK_AT(w != nullptr && w->addr == addr, comp, now,
+            SL_CHECK_AT(w != nullptr && w->addr == m.addr, comp, now,
                         "MSHR waiter does not match its block");
-    }
+    });
     for (std::uint32_t set = 0; set < numSets_; ++set) {
         const Block* row =
             &blocks_[static_cast<std::size_t>(set) * params_.ways];
@@ -415,8 +423,8 @@ Cache::reclaimReservedWays(std::uint32_t set, Cycle now)
             continue;
         ++stats_.counter("partition_reclaims");
         if (row[w].dirty && next_) {
-            ++stats_.counter("writebacks");
-            auto* wb = new MemRequest;
+            ++ctr_.writebacks;
+            MemRequest* wb = pool_->acquire();
             wb->addr = row[w].tag << kBlockShift;
             wb->kind = ReqKind::Writeback;
             next_->access(wb, now);

@@ -14,13 +14,13 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/event.hh"
 #include "common/fault.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "cache/mshr_table.hh"
 #include "cache/request.hh"
 
 namespace sl
@@ -87,7 +87,13 @@ struct CacheParams
 class Cache : public MemLevel, public RequestClient
 {
   public:
-    Cache(const CacheParams& params, EventQueue& eq, MemLevel* next);
+    /**
+     * @param pool request arena shared across the hierarchy (the System
+     *        passes its own); null makes the cache carve a private one,
+     *        which keeps standalone construction (tests) allocation-safe.
+     */
+    Cache(const CacheParams& params, EventQueue& eq, MemLevel* next,
+          RequestPool* pool = nullptr);
     ~Cache() override;
 
     Cache(const Cache&) = delete;
@@ -171,15 +177,6 @@ class Cache : public MemLevel, public RequestClient
         std::uint64_t lru = 0;
     };
 
-    struct Mshr
-    {
-        Addr addr = 0;
-        bool demandMerged = false;
-        bool prefetchOnly = true;
-        bool prefetchOriginHere = false;
-        std::vector<MemRequest*> waiters;
-    };
-
     std::uint32_t setIndex(Addr addr) const;
     Block* findBlock(Addr addr);
     Cycle reservePort(Cycle now);
@@ -196,6 +193,10 @@ class Cache : public MemLevel, public RequestClient
     const PartitionPolicy* partition_ = nullptr;
     FaultInjector* faults_ = nullptr;
 
+    /** Private arena backing pool_ when none was passed in. */
+    std::unique_ptr<RequestPool> ownPool_;
+    RequestPool* pool_;
+
     /** Downstream miss requests sent but not yet answered; must equal
      *  mshrs_.size() whenever the event queue is drained. */
     std::size_t outstandingDownstream_ = 0;
@@ -204,12 +205,60 @@ class Cache : public MemLevel, public RequestClient
     std::vector<Block> blocks_; //!< numSets_ * ways, row-major
     std::uint64_t lruTick_ = 0;
 
-    std::unordered_map<Addr, Mshr> mshrs_; //!< keyed by block address
+    MshrTable mshrs_; //!< keyed by block address; capacity = MSHR limit
+
+    /** Waiter list of the MSHR currently being filled; a member so its
+     *  capacity is reused across every requestDone call. */
+    std::vector<MemRequest*> fillWaiters_;
 
     Cycle portTime_ = 0;
     unsigned portCount_ = 0;
 
     StatGroup stats_;
+
+    /** Hot-path counters resolved once at construction: the access path
+     *  must not pay a string-keyed map lookup per event. Cold-path
+     *  counters (faults, partition reclaims) stay on stats_.counter(). */
+    struct HotCounters
+    {
+        explicit HotCounters(StatGroup& s)
+            : writebackIn(s.counter("writeback_in")),
+              demandAccesses(s.counter("demand_accesses")),
+              demandStores(s.counter("demand_stores")),
+              demandHits(s.counter("demand_hits")),
+              demandMisses(s.counter("demand_misses")),
+              prefetchRequests(s.counter("prefetch_requests")),
+              prefetchUseful(s.counter("prefetch_useful")),
+              prefetchRedundant(s.counter("prefetch_redundant")),
+              prefetchLate(s.counter("prefetch_late")),
+              prefetchIssued(s.counter("prefetch_issued")),
+              mshrRetries(s.counter("mshr_retries")),
+              fillBypassed(s.counter("fill_bypassed")),
+              evictions(s.counter("evictions")),
+              writebacks(s.counter("writebacks")),
+              metadataReads(s.counter("metadata_reads")),
+              metadataWrites(s.counter("metadata_writes"))
+        {
+        }
+
+        Counter& writebackIn;
+        Counter& demandAccesses;
+        Counter& demandStores;
+        Counter& demandHits;
+        Counter& demandMisses;
+        Counter& prefetchRequests;
+        Counter& prefetchUseful;
+        Counter& prefetchRedundant;
+        Counter& prefetchLate;
+        Counter& prefetchIssued;
+        Counter& mshrRetries;
+        Counter& fillBypassed;
+        Counter& evictions;
+        Counter& writebacks;
+        Counter& metadataReads;
+        Counter& metadataWrites;
+    };
+    HotCounters ctr_{stats_};
 };
 
 } // namespace sl

@@ -8,12 +8,16 @@
 
 #include <cstdint>
 
+#include "common/pool.hh"
 #include "common/types.hh"
 
 namespace sl
 {
 
 struct MemRequest;
+
+/** Free-list arena recycling MemRequests (one per System; see pool.hh). */
+using RequestPool = ObjectPool<MemRequest>;
 
 /** Receives completion callbacks for requests it issued. */
 class RequestClient
@@ -37,8 +41,10 @@ enum class ReqKind : std::uint8_t
 };
 
 /**
- * One in-flight memory request. Requests are heap-allocated by the issuer
- * and owned by the hierarchy until completion (responded or dropped).
+ * One in-flight memory request. Requests are acquired from a RequestPool
+ * (or heap-allocated by tests) by the issuer and owned by the hierarchy
+ * until completion (responded or dropped), when disposeRequest() returns
+ * them to their arena.
  */
 struct MemRequest
 {
@@ -53,6 +59,12 @@ struct MemRequest
      *  only the originating level counts issued/useful/redundant). */
     const void* origin = nullptr;
 
+    /** Owning arena (null when heap-allocated, e.g. by tests). */
+    RequestPool* pool = nullptr;
+    /** Currently parked on the owning pool's free list (double-release
+     *  detection; maintained by ObjectPool). */
+    bool inFreeList = false;
+
     bool
     isDemand() const
     {
@@ -66,6 +78,21 @@ struct MemRequest
                kind == ReqKind::MetadataWrite;
     }
 };
+
+/**
+ * Retire a finished request: recycle it into its owning pool, or
+ * `delete` it when it was plain heap-allocated (test fixtures build
+ * requests with `new`). Every terminal ownership point in the hierarchy
+ * funnels through here.
+ */
+inline void
+disposeRequest(MemRequest* req)
+{
+    if (req->pool)
+        req->pool->release(req);
+    else
+        delete req;
+}
 
 } // namespace sl
 

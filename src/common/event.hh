@@ -14,8 +14,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <limits>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -28,11 +29,59 @@ namespace sl
 /** Sentinel for "no event scheduled". */
 constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
 
+/**
+ * Fixed-capacity, trivially-copyable callable for scheduled events.
+ *
+ * Heap maintenance moves each event O(log n) times, and std::function
+ * routes every one of those moves through its type-erasure manager (or
+ * the heap, for captures past its 16-byte buffer). Restricting event
+ * callbacks to trivially-copyable captures of at most kCaptureBytes
+ * makes an Event plain old data: sifts are straight memcpy and
+ * scheduling never allocates. Callbacks receive the cycle they fire at,
+ * so hot-path lambdas need not capture it.
+ */
+class EventCallback
+{
+  public:
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback>>>
+    EventCallback(F f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= kCaptureBytes,
+                      "event callback captures exceed kCaptureBytes; "
+                      "capture pointers, not objects");
+        static_assert(std::is_trivially_copyable_v<Fn> &&
+                          std::is_trivially_destructible_v<Fn>,
+                      "event callbacks must be trivially copyable "
+                      "(no std::string/shared_ptr captures)");
+        ::new (static_cast<void*>(buf_)) Fn(std::move(f));
+        invoke_ = [](void* buf, Cycle now) {
+            (*std::launder(reinterpret_cast<Fn*>(buf)))(now);
+        };
+    }
+
+    void operator()(Cycle now) { invoke_(buf_, now); }
+
+  private:
+    /** Room for four pointer-sized captures — the largest hot-path
+     *  lambda (prefetch issue: cache, addr, pc, core) just fits. */
+    static constexpr std::size_t kCaptureBytes = 32;
+
+    alignas(alignof(std::max_align_t)) unsigned char buf_[kCaptureBytes];
+    void (*invoke_)(void*, Cycle) = nullptr;
+};
+
 /** Min-heap of (cycle, callback) pairs with stable FIFO order per cycle. */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
+
+    EventQueue() { heap_.reserve(kInitialCapacity); }
 
     /**
      * Schedule @p cb to run at cycle @p when. @p when must not precede
@@ -89,13 +138,17 @@ class EventQueue
             heap_.pop_back();
             if (ev.when > now_)
                 now_ = ev.when;
-            ev.cb();
+            ev.cb(ev.when);
         }
         if (now > now_)
             now_ = now;
     }
 
   private:
+    /** Pre-reserved heap storage: enough for a deep multicore burst
+     *  without growing mid-run. */
+    static constexpr std::size_t kInitialCapacity = 1024;
+
     struct Event
     {
         Cycle when;

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Free-list object arena for hot-path simulation objects.
+ *
+ * The simulator allocates one MemRequest per miss, fill, writeback, and
+ * prefetch — millions per run — and the general-purpose heap is the
+ * single largest cost on that path. ObjectPool hands out recycled
+ * objects from chunked arena storage instead: acquire() pops the free
+ * list (growing by a chunk when empty), release() pushes back. The pool
+ * owns every chunk it ever allocated, so teardown frees all storage in
+ * one sweep regardless of how many objects are still logically in
+ * flight — abandoned event-queue callbacks at SimError unwinding no
+ * longer leak (the pool drain is ASan/LSan-clean).
+ *
+ * Pooled types carry two bookkeeping members the pool maintains:
+ * `pool` (the owning arena, null for plain heap objects) and
+ * `inFreeList` (double-release detection). Objects acquired from a pool
+ * must go back via release()/dispose helpers, never `delete`.
+ */
+
+#ifndef SL_COMMON_POOL_HH
+#define SL_COMMON_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "error.hh"
+#include "types.hh"
+
+namespace sl
+{
+
+template <typename T>
+class ObjectPool
+{
+  public:
+    explicit ObjectPool(std::size_t chunk_objects = 256)
+        : chunkObjects_(chunk_objects)
+    {
+        SL_REQUIRE(chunk_objects > 0, "object_pool",
+                   "chunk size must be nonzero");
+    }
+
+    ObjectPool(const ObjectPool&) = delete;
+    ObjectPool& operator=(const ObjectPool&) = delete;
+
+    /** A recycled (or freshly carved) object, reset to default state. */
+    T*
+    acquire()
+    {
+        if (free_.empty())
+            grow();
+        T* obj = free_.back();
+        free_.pop_back();
+        *obj = T{};       // reset every field to its default
+        obj->pool = this; // then re-stamp ownership
+        ++acquired_;
+        return obj;
+    }
+
+    /** Return @p obj to the free list. Double release throws SimError. */
+    void
+    release(T* obj)
+    {
+        SL_CHECK(obj != nullptr, "object_pool", "release of null object");
+        SL_CHECK(obj->pool == this, "object_pool",
+                 "object released to a pool that does not own it");
+        SL_CHECK(!obj->inFreeList, "object_pool",
+                 "double release: object is already on the free list");
+        obj->inFreeList = true;
+        free_.push_back(obj);
+        ++released_;
+    }
+
+    /** Total acquire() calls over the pool's lifetime. */
+    std::uint64_t acquired() const { return acquired_; }
+
+    /** Total release() calls over the pool's lifetime. */
+    std::uint64_t released() const { return released_; }
+
+    /** Objects currently handed out (acquired and not yet released). */
+    std::uint64_t outstanding() const { return acquired_ - released_; }
+
+    /** Objects sitting on the free list, ready for reuse. */
+    std::size_t freeCount() const { return free_.size(); }
+
+    /** Total arena slots across all chunks. */
+    std::size_t capacity() const { return chunks_.size() * chunkObjects_; }
+
+    /**
+     * Accounting balance check (run by the InvariantAuditor): every
+     * arena slot is either on the free list or outstanding, and releases
+     * never outnumber acquires. A violation means a request was released
+     * twice through different pools, freed with `delete`, or the free
+     * list was corrupted.
+     */
+    void
+    audit(const char* component, Cycle now) const
+    {
+        SL_CHECK_AT(released_ <= acquired_, component, now,
+                    "release count " << released_ << " exceeds acquire "
+                                     << "count " << acquired_);
+        SL_CHECK_AT(free_.size() + outstanding() == capacity(), component,
+                    now,
+                    "pool accounting out of balance: " << free_.size()
+                        << " free + " << outstanding()
+                        << " outstanding != " << capacity()
+                        << " arena slots");
+    }
+
+  private:
+    void
+    grow()
+    {
+        chunks_.push_back(std::make_unique<T[]>(chunkObjects_));
+        T* base = chunks_.back().get();
+        free_.reserve(free_.size() + chunkObjects_);
+        for (std::size_t i = 0; i < chunkObjects_; ++i) {
+            base[i].pool = this;
+            base[i].inFreeList = true;
+            free_.push_back(&base[i]);
+        }
+    }
+
+    std::size_t chunkObjects_;
+    std::vector<std::unique_ptr<T[]>> chunks_;
+    std::vector<T*> free_;
+    std::uint64_t acquired_ = 0;
+    std::uint64_t released_ = 0;
+};
+
+} // namespace sl
+
+#endif // SL_COMMON_POOL_HH

@@ -6,9 +6,11 @@ namespace sl
 {
 
 Core::Core(int id, const CoreParams& params, EventQueue& eq, Cache* l1d,
-           TracePtr trace)
+           TracePtr trace, RequestPool* pool)
     : id_(id), params_(params), eq_(eq), l1d_(l1d),
-      trace_(std::move(trace)), rob_(params.robSize),
+      trace_(std::move(trace)),
+      ownPool_(pool ? nullptr : std::make_unique<RequestPool>()),
+      pool_(pool ? pool : ownPool_.get()), rob_(params.robSize),
       stats_("core" + std::to_string(id))
 {
     params_.validate();
@@ -93,7 +95,7 @@ Core::tryDispatch(Cycle now)
         e.endsRecord = true;
         e.slotGen = ++slotGen_;
 
-        auto* req = new MemRequest;
+        MemRequest* req = pool_->acquire();
         req->addr = rec.addr + addrOffset();
         req->pc = rec.pc;
         req->coreId = id_;
@@ -106,13 +108,13 @@ Core::tryDispatch(Cycle now)
             e.doneAt = kNoCycle;
             lastLoadSlot_ = slot;
             lastLoadGen_ = e.slotGen;
-            ++stats_.counter("loads");
+            ++loadsCtr_;
         } else {
             // Stores retire through the store buffer; the write still
             // traverses the hierarchy for traffic/fill effects.
             req->kind = ReqKind::DemandStore;
             e.doneAt = now + 1;
-            ++stats_.counter("stores");
+            ++storesCtr_;
         }
         l1d_->access(req, now);
 

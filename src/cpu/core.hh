@@ -14,6 +14,7 @@
 #define SL_CPU_CORE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <string>
@@ -58,9 +59,11 @@ class Core : public RequestClient
      * @param l1d first-level data cache this core issues into
      * @param trace the workload; replayed from the start if other cores
      *        are still in their measurement region
+     * @param pool request arena shared across the hierarchy (the System
+     *        passes its own); null makes the core carve a private one
      */
     Core(int id, const CoreParams& params, EventQueue& eq, Cache* l1d,
-         TracePtr trace);
+         TracePtr trace, RequestPool* pool = nullptr);
 
     Core(const Core&) = delete;
     Core& operator=(const Core&) = delete;
@@ -127,6 +130,10 @@ class Core : public RequestClient
     Cache* l1d_;
     TracePtr trace_;
 
+    /** Private arena backing pool_ when none was passed in. */
+    std::unique_ptr<RequestPool> ownPool_;
+    RequestPool* pool_;
+
     // ROB as a ring over fixed slots (slot indices are stable while live,
     // so in-flight requests can carry their slot as the completion tag).
     std::vector<RobEntry> rob_;
@@ -154,6 +161,9 @@ class Core : public RequestClient
     Cycle startCycle_ = 0;
 
     StatGroup stats_;
+    /** Dispatch-loop counters, resolved once (no per-load map lookup). */
+    Counter& loadsCtr_{stats_.counter("loads")};
+    Counter& storesCtr_{stats_.counter("stores")};
 };
 
 } // namespace sl

@@ -30,9 +30,10 @@ Dram::Dram(const DramParams& params, EventQueue& eq)
     : params_(params), eq_(eq), stats_("dram")
 {
     params_.validate();
-    channels_.resize(params_.channels);
-    for (auto& ch : channels_)
-        ch.banks.resize(params_.ranksPerChannel * params_.banksPerRank);
+    banksPerChannel_ = params_.ranksPerChannel * params_.banksPerRank;
+    banks_.resize(static_cast<std::size_t>(params_.channels) *
+                  banksPerChannel_);
+    busFreeAt_.resize(params_.channels, 0);
 
     auto ns_to_cycles = [&](double ns) {
         return static_cast<Cycle>(std::ceil(ns * params_.coreGHz));
@@ -62,8 +63,8 @@ Cycle
 Dram::busyUntil() const
 {
     Cycle busy = 0;
-    for (const auto& ch : channels_)
-        busy = std::max(busy, ch.busFreeAt);
+    for (const Cycle t : busFreeAt_)
+        busy = std::max(busy, t);
     return busy;
 }
 
@@ -77,13 +78,12 @@ Dram::access(MemRequest* req, Cycle now)
     const std::uint64_t block = blockNumber(req->addr);
     const unsigned ch_idx =
         static_cast<unsigned>(block % params_.channels);
-    Channel& ch = channels_[ch_idx];
     const std::uint64_t in_channel = block / params_.channels;
-    const unsigned nbanks =
-        params_.ranksPerChannel * params_.banksPerRank;
+    const unsigned nbanks = banksPerChannel_;
     const unsigned bank_idx =
         static_cast<unsigned>((in_channel / kBlocksPerRow) % nbanks);
-    Bank& bank = ch.banks[bank_idx];
+    Bank& bank =
+        banks_[static_cast<std::size_t>(ch_idx) * nbanks + bank_idx];
     const auto row = static_cast<std::uint32_t>(
         (in_channel / kBlocksPerRow / nbanks) % params_.rowsPerBank);
 
@@ -108,8 +108,8 @@ Dram::access(MemRequest* req, Cycle now)
 
     // Data burst waits for the channel bus.
     const Cycle data_ready = bank_start + access_lat;
-    const Cycle burst_start = std::max(data_ready, ch.busFreeAt);
-    ch.busFreeAt = burst_start + burstCycles_;
+    const Cycle burst_start = std::max(data_ready, busFreeAt_[ch_idx]);
+    busFreeAt_[ch_idx] = burst_start + burstCycles_;
     bank.readyAt = burst_start + burstCycles_;
 
     stats_.counter("bytes") += kBlockBytes;
@@ -118,13 +118,12 @@ Dram::access(MemRequest* req, Cycle now)
     if (faults_)
         done += faults_->dramDelay(); // injected slow response
     if (req->client) {
-        MemRequest* r = req;
-        eq_.schedule(done, [r, done] {
-            r->client->requestDone(*r, done);
-            delete r;
+        eq_.schedule(done, [req](Cycle now) {
+            req->client->requestDone(*req, now);
+            disposeRequest(req);
         });
     } else {
-        delete req;
+        disposeRequest(req);
     }
 }
 

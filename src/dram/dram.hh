@@ -80,16 +80,15 @@ class Dram : public MemLevel
         bool rowValid = false;
     };
 
-    struct Channel
-    {
-        Cycle busFreeAt = 0;
-        std::vector<Bank> banks;
-    };
-
     DramParams params_;
     EventQueue& eq_;
     FaultInjector* faults_ = nullptr;
-    std::vector<Channel> channels_;
+    /** Flat [channel][rank*bank] state: banks_ holds channels * nbanks
+     *  entries row-major, busFreeAt_ one slot per channel — one
+     *  contiguous lookup each instead of nested vector indirection. */
+    std::vector<Bank> banks_;
+    std::vector<Cycle> busFreeAt_;
+    unsigned banksPerChannel_ = 0;
     Cycle tCas_, tRcd_, tRp_, burstCycles_, controllerCycles_;
     StatGroup stats_;
 };

@@ -87,11 +87,11 @@ class Prefetcher : public CacheListener
     void
     prefetch(Addr addr, PC pc, Cycle when)
     {
-        ++stats_.counter("issued");
+        ++issuedCtr_;
         Cache* c = owner_;
         const int core = coreId_;
-        eq_->schedule(when, [c, addr, pc, core, when] {
-            c->issuePrefetch(addr, pc, core, when);
+        eq_->schedule(when, [c, addr, pc, core](Cycle now) {
+            c->issuePrefetch(addr, pc, core, now);
         });
     }
 
@@ -116,6 +116,8 @@ class Prefetcher : public CacheListener
     int coreId_ = 0;
     unsigned totalCores_ = 1;
     StatGroup stats_;
+    /** Issue counter resolved once; prefetch() is per-issue hot. */
+    Counter& issuedCtr_{stats_.counter("issued")};
 };
 
 /** Factory invoked per core by the System builder. */

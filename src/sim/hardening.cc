@@ -17,6 +17,12 @@ InvariantAuditor::auditNow(Cycle now)
                 "event queue lost monotonicity: head at " << eq.nextCycle()
                     << " precedes drained time " << eq.now());
 
+    // The request arena's books must balance: every slot is either on
+    // the free list or out in the hierarchy, and nothing was released
+    // twice. Catches leaks and double-releases that ASan only sees with
+    // heap-allocated requests.
+    sys_.requestPool().audit("request_pool", now);
+
     sys_.llc().audit(now);
     for (unsigned c = 0; c < sys_.cores(); ++c) {
         sys_.l1d(c).audit(now);

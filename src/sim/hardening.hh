@@ -111,6 +111,19 @@ class ProgressWatchdog
     }
 
     /**
+     * True when enough cycles have passed that observe() should sample
+     * the work counter again. Gating on this keeps the run loop from
+     * totalling every core's retirement count each cycle: one probe per
+     * window still detects a hang within two windows, the counter scan
+     * just stops dominating the hot loop.
+     */
+    bool
+    probeDue(Cycle now) const
+    {
+        return window_ != 0 && now >= nextProbe_;
+    }
+
+    /**
      * Report the run loop's state: current cycle and cumulative work
      * done (monotonic). Throws SimError once no work lands for a full
      * window.
@@ -120,6 +133,7 @@ class ProgressWatchdog
     {
         if (window_ == 0)
             return;
+        nextProbe_ = now + window_;
         if (!primed_ || work_done != lastWork_) {
             primed_ = true;
             lastWork_ = work_done;
@@ -138,6 +152,7 @@ class ProgressWatchdog
     Cycle window_;
     SnapshotFn snapshot_;
     Cycle lastProgressCycle_ = 0;
+    Cycle nextProbe_ = 0;
     std::uint64_t lastWork_ = 0;
     bool primed_ = false;
 };

@@ -108,7 +108,7 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
     llc_params.latency = cfg.llcLatency;
     llc_params.mshrs = cfg.llcMshrsPerCore * cfg.cores;
     llc_params.ports = cfg.cores; // banked: one access/cycle per core slice
-    llc_ = std::make_unique<Cache>(llc_params, eq_, dram_.get());
+    llc_ = std::make_unique<Cache>(llc_params, eq_, dram_.get(), &pool_);
     llc_->setFaultInjector(faults_.get());
 
     partition_ = std::make_unique<CompositePartition>(cfg.cores);
@@ -122,7 +122,8 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
         l2p.latency = cfg.l2Latency;
         l2p.mshrs = cfg.l2Mshrs;
         l2p.ports = cfg.l2Ports;
-        l2s_.push_back(std::make_unique<Cache>(l2p, eq_, llc_.get()));
+        l2s_.push_back(
+            std::make_unique<Cache>(l2p, eq_, llc_.get(), &pool_));
         l2s_.back()->setFaultInjector(faults_.get());
 
         CacheParams l1p;
@@ -132,13 +133,13 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
         l1p.latency = cfg.l1dLatency;
         l1p.mshrs = cfg.l1dMshrs;
         l1p.ports = cfg.l1dPorts;
-        l1ds_.push_back(
-            std::make_unique<Cache>(l1p, eq_, l2s_.back().get()));
+        l1ds_.push_back(std::make_unique<Cache>(l1p, eq_,
+                                                l2s_.back().get(), &pool_));
         l1ds_.back()->setFaultInjector(faults_.get());
 
         cores_.push_back(std::make_unique<Core>(
             static_cast<int>(c), cfg.core, eq_, l1ds_.back().get(),
-            traces[c]));
+            traces[c], &pool_));
 
         if (cfg.l1dPrefetcher) {
             auto pf = cfg.l1dPrefetcher(static_cast<int>(c));
@@ -180,11 +181,15 @@ void
 System::run(std::uint64_t max_cycles)
 {
     Cycle cycle = 0;
+    // done() is monotonic, so cores that finished stay finished: the
+    // all-done scan only walks the still-running suffix and exits on the
+    // first unfinished core instead of polling every core every cycle.
+    std::size_t first_active = 0;
     while (true) {
-        bool all_done = true;
-        for (const auto& c : cores_)
-            all_done &= c->done();
-        if (all_done)
+        while (first_active < cores_.size() &&
+               cores_[first_active]->done())
+            ++first_active;
+        if (first_active == cores_.size())
             break;
         SL_CHECK_AT(cycle <= max_cycles, "system", cycle,
                     "exceeded cycle limit " << max_cycles << "\n"
@@ -192,13 +197,18 @@ System::run(std::uint64_t max_cycles)
 
         eq_.runUntil(cycle);
 
+        // Finished cores still step: they replay their traces so the
+        // remaining cores keep seeing realistic contention.
         bool progress = false;
         for (auto& c : cores_)
             progress |= c->step(cycle);
 
+        // The hardening checks are interval-driven; keep the common
+        // cycle down to two compares, with the heavy work (component
+        // walks, retirement totalling) behind them.
         if (auditor_)
             auditor_->maybeAudit(cycle);
-        if (watchdog_)
+        if (watchdog_ && watchdog_->probeDue(cycle))
             watchdog_->observe(cycle, totalRetired());
 
         if (progress) {

@@ -141,6 +141,10 @@ class System
     Dram& dram() { return *dram_; }
     EventQueue& eventQueue() { return eq_; }
 
+    /** Arena every MemRequest in this system is carved from. */
+    RequestPool& requestPool() { return pool_; }
+    const RequestPool& requestPool() const { return pool_; }
+
     Prefetcher* l1dPrefetcher(unsigned i) { return l1dPfs_[i].get(); }
     Prefetcher* l2Prefetcher(unsigned i) { return l2Pfs_[i].get(); }
 
@@ -153,6 +157,9 @@ class System
   private:
     SystemConfig cfg_;
     EventQueue eq_;
+    /** Declared before every component so requests drain back into a
+     *  still-live arena during member destruction. */
+    RequestPool pool_;
     std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<Dram> dram_;
     std::unique_ptr<Cache> llc_;

@@ -158,9 +158,9 @@ TEST(EventQueue, RunsInCycleOrder)
 {
     EventQueue eq;
     std::vector<int> order;
-    eq.schedule(10, [&] { order.push_back(2); });
-    eq.schedule(5, [&] { order.push_back(1); });
-    eq.schedule(10, [&] { order.push_back(3); });
+    eq.schedule(10, [&](Cycle) { order.push_back(2); });
+    eq.schedule(5, [&](Cycle) { order.push_back(1); });
+    eq.schedule(10, [&](Cycle) { order.push_back(3); });
     EXPECT_EQ(eq.nextCycle(), 5u);
     eq.runUntil(4);
     EXPECT_TRUE(order.empty());
@@ -177,9 +177,9 @@ TEST(EventQueue, SameCycleReschedulingRuns)
 {
     EventQueue eq;
     int count = 0;
-    eq.schedule(1, [&] {
+    eq.schedule(1, [&](Cycle) {
         ++count;
-        eq.schedule(1, [&] { ++count; });
+        eq.schedule(1, [&](Cycle) { ++count; });
     });
     eq.runUntil(1);
     EXPECT_EQ(count, 2);

@@ -102,12 +102,12 @@ TEST(EventQueueHardening, ScheduleIntoPastThrows)
 {
     EventQueue eq;
     int runs = 0;
-    eq.schedule(5, [&] { ++runs; });
+    eq.schedule(5, [&](Cycle) { ++runs; });
     eq.runUntil(10);
     EXPECT_EQ(runs, 1);
     EXPECT_EQ(eq.now(), 10u);
-    EXPECT_THROW(eq.schedule(9, [] {}), SimError);
-    eq.schedule(10, [&] { ++runs; }); // "now" itself is still legal
+    EXPECT_THROW(eq.schedule(9, [](Cycle) {}), SimError);
+    eq.schedule(10, [&](Cycle) { ++runs; }); // "now" itself is still legal
     eq.runUntil(10);
     EXPECT_EQ(runs, 2);
 }
@@ -116,11 +116,13 @@ TEST(EventQueueHardening, FifoWithinACycleSurvivesExtraction)
 {
     EventQueue eq;
     std::string order;
-    eq.schedule(3, [&] { order += 'a'; });
-    eq.schedule(3, [&] { order += 'b'; });
+    eq.schedule(3, [&](Cycle) { order += 'a'; });
+    eq.schedule(3, [&](Cycle) { order += 'b'; });
     // A callback rescheduling at its own cycle runs in the same drain.
-    eq.schedule(3, [&] { eq.schedule(3, [&] { order += 'd'; });
-                         order += 'c'; });
+    eq.schedule(3, [&](Cycle) {
+        eq.schedule(3, [&](Cycle) { order += 'd'; });
+        order += 'c';
+    });
     eq.runUntil(3);
     EXPECT_EQ(order, "abcd");
     EXPECT_TRUE(eq.empty());

@@ -65,13 +65,12 @@ class ScriptedMemory : public MemLevel
         requests.push_back(*req);
         if (req->client) {
             MemRequest* r = req;
-            const Cycle done = now + latency_;
-            eq_.schedule(done, [r, done] {
+            eq_.schedule(now + latency_, [r](Cycle done) {
                 r->client->requestDone(*r, done);
-                delete r;
+                disposeRequest(r);
             });
         } else {
-            delete req;
+            disposeRequest(req);
         }
     }
 
