@@ -38,6 +38,7 @@ struct Cell
     std::string workload;
     std::uint64_t simCycles = 0;
     std::uint64_t retired = 0;
+    std::uint64_t metadataOps = 0;
     double wallSeconds = 0; //!< best (minimum) over the repetitions
 };
 
@@ -82,6 +83,8 @@ timeCell(const std::string& config, const std::string& l2,
             cell.wallSeconds = wall;
             cell.simCycles = sys.eventQueue().now();
             cell.retired = sys.totalRetired();
+            Prefetcher* pf = sys.l2Prefetcher(0);
+            cell.metadataOps = pf ? pf->metadataOps() : 0;
         }
     }
     return cell;
@@ -103,6 +106,12 @@ mips(const Cell& c)
                : 0;
 }
 
+double
+mops(std::uint64_t metadata_ops, double wall)
+{
+    return wall > 0 ? static_cast<double>(metadata_ops) / wall : 0;
+}
+
 } // namespace
 
 int
@@ -116,56 +125,70 @@ main()
     std::printf("   %u repetition(s) per cell, best-of reported\n",
                 repetitions);
 
-    // The matrix: the paper's own scheme, the heaviest temporal baseline,
-    // and the no-L2-prefetcher hierarchy, over a pointer-chasing SPEC
-    // trace and a graph kernel.
+    // The matrix: the paper's own scheme, both temporal baselines, and
+    // the no-L2-prefetcher hierarchy, over two pointer-chasing SPEC
+    // traces and a graph kernel.
     const std::vector<std::pair<std::string, std::string>> configs = {
         {"baseline", "none"},
         {"streamline", "streamline"},
+        {"triage", "triage"},
         {"triangel", "triangel"},
     };
-    const std::vector<std::string> workloads = {"spec06_mcf", "gap_bfs"};
+    const std::vector<std::string> workloads = {"spec06_mcf",
+                                                "spec06_omnetpp", "gap_bfs"};
 
-    std::printf("%-12s %-14s %12s %12s %10s %12s %10s\n", "config",
+    std::printf("%-12s %-15s %12s %12s %10s %12s %10s %12s\n", "config",
                 "workload", "sim_Mcycles", "retired_Mi", "wall_s",
-                "kcycles/s", "MIPS");
+                "kcycles/s", "MIPS", "meta_ops/s");
 
     for (const auto& [name, l2] : configs) {
         std::uint64_t cfg_cycles = 0;
         std::uint64_t cfg_retired = 0;
+        std::uint64_t cfg_meta = 0;
         double cfg_wall = 0;
         for (const auto& w : workloads) {
             const Cell c = timeCell(name, l2, w, scale, repetitions);
-            std::printf("%-12s %-14s %12.1f %12.1f %10.3f %12.0f %10.1f\n",
+            std::printf("%-12s %-15s %12.1f %12.1f %10.3f %12.0f %10.1f "
+                        "%12.0f\n",
                         c.config.c_str(), c.workload.c_str(),
                         c.simCycles / 1e6, c.retired / 1e6, c.wallSeconds,
-                        kcps(c), mips(c));
+                        kcps(c), mips(c),
+                        mops(c.metadataOps, c.wallSeconds));
             JsonReport::instance().note(
                 "{\"kind\":\"simspeed_cell\",\"config\":\"" + c.config +
                 "\",\"workload\":\"" + c.workload +
                 "\",\"sim_cycles\":" + std::to_string(c.simCycles) +
                 ",\"retired_instructions\":" + std::to_string(c.retired) +
+                ",\"metadata_ops\":" + std::to_string(c.metadataOps) +
                 ",\"wall_seconds\":" + sl::jsonNumber(c.wallSeconds) +
                 ",\"sim_kcycles_per_sec\":" + sl::jsonNumber(kcps(c)) +
-                ",\"retired_mips\":" + sl::jsonNumber(mips(c)) + "}");
+                ",\"retired_mips\":" + sl::jsonNumber(mips(c)) +
+                ",\"metadata_ops_per_sec\":" +
+                sl::jsonNumber(mops(c.metadataOps, c.wallSeconds)) + "}");
             cfg_cycles += c.simCycles;
             cfg_retired += c.retired;
+            cfg_meta += c.metadataOps;
             cfg_wall += c.wallSeconds;
         }
         const double cfg_kcps =
             cfg_wall > 0 ? cfg_cycles / 1e3 / cfg_wall : 0;
         const double cfg_mips =
             cfg_wall > 0 ? cfg_retired / 1e6 / cfg_wall : 0;
-        std::printf("%-12s %-14s %12.1f %12.1f %10.3f %12.0f %10.1f\n",
+        std::printf("%-12s %-15s %12.1f %12.1f %10.3f %12.0f %10.1f "
+                    "%12.0f\n",
                     name.c_str(), "(all)", cfg_cycles / 1e6,
-                    cfg_retired / 1e6, cfg_wall, cfg_kcps, cfg_mips);
+                    cfg_retired / 1e6, cfg_wall, cfg_kcps, cfg_mips,
+                    mops(cfg_meta, cfg_wall));
         JsonReport::instance().note(
             "{\"kind\":\"simspeed_config\",\"config\":\"" + name +
             "\",\"sim_cycles\":" + std::to_string(cfg_cycles) +
             ",\"retired_instructions\":" + std::to_string(cfg_retired) +
+            ",\"metadata_ops\":" + std::to_string(cfg_meta) +
             ",\"wall_seconds\":" + sl::jsonNumber(cfg_wall) +
             ",\"sim_kcycles_per_sec\":" + sl::jsonNumber(cfg_kcps) +
-            ",\"retired_mips\":" + sl::jsonNumber(cfg_mips) + "}");
+            ",\"retired_mips\":" + sl::jsonNumber(cfg_mips) +
+            ",\"metadata_ops_per_sec\":" +
+            sl::jsonNumber(mops(cfg_meta, cfg_wall)) + "}");
     }
     return 0;
 }

@@ -5,7 +5,7 @@
 #   scripts/check.sh            # both modes
 #   scripts/check.sh plain      # plain build only
 #   scripts/check.sh sanitize   # sanitizer build only
-#   scripts/check.sh simspeed   # simulator-speed snapshot (warn-only)
+#   scripts/check.sh simspeed   # simulator-speed gate (fails <0.6x baseline)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -50,13 +50,15 @@ print(f"bench smoke ok: {len(doc['jobs'])} jobs, "
 EOF
 }
 
-# Simulator-speed snapshot: run bench_simspeed on a tiny matrix, parse
-# its JSON, and fold the per-config throughput into BENCH_simspeed.json
-# at the repo root (perf trajectory across PRs). Warn-only: a slow run
-# on a loaded machine must not fail the build.
+# Simulator-speed gate: run bench_simspeed on a tiny matrix, parse its
+# JSON, and fold the per-config and per-cell throughput into
+# BENCH_simspeed.json at the repo root (perf trajectory across PRs).
+# Regressions below 0.6x of the recorded baseline FAIL the check —
+# the threshold is generous enough to absorb a loaded machine, so a
+# trip means a real hot-path regression.
 simspeed() {
     local dir="$1"
-    echo "== simspeed: throughput snapshot (${dir}) =="
+    echo "== simspeed: throughput gate (${dir}) =="
     cmake --build "${dir}" --target bench_simspeed -j
     local out="${dir}/bench_simspeed.out"
     SL_BENCH_SCALE="${SL_SIMSPEED_SCALE:-0.05}" SL_JOBS=1 \
@@ -68,26 +70,56 @@ body = text.split("==JSON==")[1].split("==END-JSON==")[0]
 doc = json.loads(body)
 configs = {n["config"]: n for n in doc["notes"]
            if n["kind"] == "simspeed_config"}
+cells = [n for n in doc["notes"] if n["kind"] == "simspeed_cell"]
 assert configs, "no simspeed_config notes in bench output"
+assert cells, "no simspeed_cell notes in bench output"
 path = sys.argv[2]
 try:
     snap = json.load(open(path))
 except (FileNotFoundError, json.JSONDecodeError):
     snap = {}
 prev = snap.get("current", {}).get("kcycles_per_sec", {})
+prev_cells = snap.get("current", {}).get("cell_kcycles_per_sec", {})
+prev_workloads = snap.get("current", {}).get("workloads", [])
 cur = {c: n["sim_kcycles_per_sec"] for c, n in configs.items()}
+cur_cells = {c["config"]: {} for c in cells}
+for c in cells:
+    cur_cells[c["config"]][c["workload"]] = c["sim_kcycles_per_sec"]
+cur_workloads = sorted({c["workload"] for c in cells})
 snap["current"] = {
     "scale": float(text.split("scale=")[1].split()[0]),
+    "workloads": cur_workloads,
     "kcycles_per_sec": cur,
     "retired_mips": {c: n["retired_mips"] for c, n in configs.items()},
+    "metadata_ops_per_sec": {c: n.get("metadata_ops_per_sec", 0)
+                             for c, n in configs.items()},
+    "cell_kcycles_per_sec": cur_cells,
 }
-for c, kcps in cur.items():
-    if c in prev and prev[c] > 0 and kcps < 0.7 * prev[c]:
-        print(f"WARNING: simspeed regression on '{c}': "
-              f"{kcps:.0f} kc/s vs previous {prev[c]:.0f} kc/s")
+FLOOR = 0.6
+failures = []
+# The config aggregate is only comparable when the workload matrix is
+# unchanged (adding a workload shifts the cycle mix); cells always are.
+if prev_workloads == cur_workloads:
+    for c, kcps in cur.items():
+        if c in prev and prev[c] > 0 and kcps < FLOOR * prev[c]:
+            failures.append(f"config '{c}': {kcps:.0f} kc/s vs baseline "
+                            f"{prev[c]:.0f} kc/s ({kcps / prev[c]:.2f}x)")
+for c, by_wl in cur_cells.items():
+    for w, kcps in by_wl.items():
+        base = prev_cells.get(c, {}).get(w, 0)
+        if base > 0 and kcps < FLOOR * base:
+            failures.append(f"cell '{c}/{w}': {kcps:.0f} kc/s vs "
+                            f"baseline {base:.0f} kc/s "
+                            f"({kcps / base:.2f}x)")
 json.dump(snap, open(path, "w"), indent=2, sort_keys=True)
 print(f"simspeed snapshot -> {path}: " +
       ", ".join(f"{c}={v:.0f}kc/s" for c, v in sorted(cur.items())))
+if failures:
+    print("FAIL: simulator-speed regression below "
+          f"{FLOOR:.1f}x of recorded baseline:")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
 EOF
 }
 

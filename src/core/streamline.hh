@@ -118,6 +118,17 @@ class StreamlinePrefetcher : public Prefetcher, public PartitionPolicy
         return &store_->stats();
     }
 
+    std::uint64_t
+    metadataOps() const override
+    {
+        if (!store_)
+            return 0;
+        const StatGroup& s = store_->stats();
+        return s.get("hits") + s.get("misses") + s.get("inserts") +
+               s.get("updates") + s.get("filtered_inserts") +
+               s.get("bypassed");
+    }
+
     /** Correlation hit rate (buffer + store hits over lookups). */
     double correlationHitRate() const;
 

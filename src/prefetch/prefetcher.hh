@@ -78,6 +78,13 @@ class Prefetcher : public CacheListener
      */
     virtual const StatGroup* metadataStoreStats() const { return nullptr; }
 
+    /**
+     * Total metadata-store operations performed so far (lookups, inserts,
+     * updates); 0 for designs without a store. bench_simspeed divides
+     * this by wall time to track the metadata layer's modelling speed.
+     */
+    virtual std::uint64_t metadataOps() const { return 0; }
+
     StatGroup& stats() { return stats_; }
     const StatGroup& stats() const { return stats_; }
     const std::string& name() const { return stats_.name(); }

@@ -91,6 +91,7 @@ class PairwiseStore
     }
 
     StatGroup& stats() { return stats_; }
+    const StatGroup& stats() const { return stats_; }
 
     /** Attach the system's fault injector: lookup results may then come
      *  back with a flipped target bit (a corrupt metadata read). */

@@ -76,6 +76,15 @@ class TriagePrefetcher : public Prefetcher, public PartitionPolicy
     /** Correlations currently stored (used by capacity probes). */
     std::uint64_t storedCorrelations() const override;
 
+    std::uint64_t
+    metadataOps() const override
+    {
+        if (!store_)
+            return 0;
+        const StatGroup& s = store_->stats();
+        return s.get("hits") + s.get("misses") + s.get("inserts");
+    }
+
   private:
     struct TuEntry
     {

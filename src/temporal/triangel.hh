@@ -84,6 +84,16 @@ class TriangelPrefetcher : public Prefetcher, public PartitionPolicy
     {
         return store_->size();
     }
+
+    std::uint64_t
+    metadataOps() const override
+    {
+        if (!store_)
+            return 0;
+        const StatGroup& s = store_->stats();
+        return s.get("hits") + s.get("misses") + s.get("inserts");
+    }
+
     unsigned currentWays() const { return currentWays_; }
 
     /** Fraction of issued prefetches later consumed (for reports). */
