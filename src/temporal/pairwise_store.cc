@@ -72,7 +72,12 @@ PairwiseStore::block(std::uint32_t set, unsigned way)
 PairwiseStore::Entry*
 PairwiseStore::findEntry(Addr trigger)
 {
-    const std::uint32_t set = setIndex(trigger);
+    return findEntry(trigger, setIndex(trigger));
+}
+
+PairwiseStore::Entry*
+PairwiseStore::findEntry(Addr trigger, std::uint32_t set)
+{
     const unsigned ways = waysFor(set);
     if (ways == 0)
         return nullptr;
@@ -87,9 +92,12 @@ PairwiseStore::findEntry(Addr trigger)
 std::optional<Addr>
 PairwiseStore::lookup(Addr trigger)
 {
-    if (Entry* e = findEntry(trigger)) {
+    // One set computation serves the probe, the sampled-set test, and
+    // (on the insert path) the victim scan.
+    const std::uint32_t set = setIndex(trigger);
+    if (Entry* e = findEntry(trigger, set)) {
         ++stats_.counter("hits");
-        if (sampledSet(setIndex(trigger))) {
+        if (sampledSet(set)) {
             ++stats_.counter("sampled_hits");
             ++sampledHitsEpoch_;
         }
@@ -115,7 +123,7 @@ PairwiseStore::insert(Addr trigger, Addr target)
         return;
     ++stats_.counter("inserts");
 
-    if (Entry* e = findEntry(trigger)) {
+    if (Entry* e = findEntry(trigger, set)) {
         if (params_.utilityRepl) {
             // TP-style utility: the *correlation* repeating is the signal,
             // not the trigger alone.
@@ -167,9 +175,10 @@ PairwiseStore::insert(Addr trigger, Addr target)
 void
 PairwiseStore::probeSampled(Addr trigger)
 {
-    if (!sampledSet(setIndex(trigger)))
+    const std::uint32_t set = setIndex(trigger);
+    if (!sampledSet(set))
         return;
-    if (findEntry(trigger)) {
+    if (findEntry(trigger, set)) {
         ++stats_.counter("sampled_hits");
         ++sampledHitsEpoch_;
     }

@@ -113,6 +113,7 @@ class PairwiseStore
     unsigned wayIndex(Addr trigger, unsigned ways) const;
     unsigned waysFor(std::uint32_t set) const;
     Entry* findEntry(Addr trigger);
+    Entry* findEntry(Addr trigger, std::uint32_t set);
     std::vector<Entry>& block(std::uint32_t set, unsigned way);
 
     PairwiseStoreParams params_;
