@@ -7,11 +7,23 @@
 namespace sl
 {
 
+namespace
+{
+
+/** Smallest power of two >= @p v (v must be nonzero). */
+std::uint32_t
+ceilPow2(std::uint32_t v)
+{
+    std::uint32_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
 PairwiseStore::PairwiseStore(const PairwiseStoreParams& params)
-    : params_(params), ways_(params.maxWays),
-      blocks_(static_cast<std::size_t>(params.sets) * params.maxWays),
-      reusePred_(params.utilityRepl ? 1024 : 0, 0),
-      stats_("pairwise_store")
+    : params_(params), ways_(params.maxWays), stats_("pairwise_store")
 {
     SL_REQUIRE(params_.sets > 0, "pairwise_store",
                "store needs at least one set");
@@ -19,22 +31,39 @@ PairwiseStore::PairwiseStore(const PairwiseStoreParams& params)
                "store needs at least one way");
     SL_REQUIRE(params_.entriesPerBlock > 0, "pairwise_store",
                "store needs at least one entry per block");
-    for (auto& b : blocks_)
-        b.resize(params_.entriesPerBlock);
+
+    // Power-of-two shim: every real LLC geometry already is one, and it
+    // turns the per-access modulo chain into masks over a single hash.
+    params_.sets = ceilPow2(params_.sets);
+    setMask_ = params_.sets - 1;
+    if (params_.sampledSets == 0) {
+        // Nothing sampled: (set & 0) == 1 is never true.
+        sampledMask_ = 0;
+        sampledMatch_ = 1;
+    } else if (params_.sampledSets >= params_.sets) {
+        // Everything sampled: (set & 0) == 0 is always true.
+        params_.sampledSets = params_.sets;
+        sampledMask_ = 0;
+        sampledMatch_ = 0;
+    } else {
+        params_.sampledSets = ceilPow2(params_.sampledSets);
+        const std::uint32_t stride = params_.sets / params_.sampledSets;
+        SL_REQUIRE((stride & (stride - 1)) == 0, "pairwise_store",
+                   "sampled-set stride must be a power of two");
+        sampledMask_ = stride - 1;
+        sampledMatch_ = 0;
+    }
+
+    slots_.resize(static_cast<std::size_t>(params_.sets) *
+                  params_.maxWays * params_.entriesPerBlock);
+    if (params_.utilityRepl)
+        reusePred_.assign(1024, 0);
 }
 
 std::uint32_t
 PairwiseStore::setIndex(Addr trigger) const
 {
-    return static_cast<std::uint32_t>(mix64(trigger) % params_.sets);
-}
-
-bool
-PairwiseStore::sampledSet(std::uint32_t set) const
-{
-    if (params_.sampledSets == 0 || params_.sampledSets >= params_.sets)
-        return params_.sampledSets != 0;
-    return set % (params_.sets / params_.sampledSets) == 0;
+    return static_cast<std::uint32_t>(mix64(trigger)) & setMask_;
 }
 
 std::uint64_t
@@ -54,36 +83,31 @@ PairwiseStore::waysFor(std::uint32_t set) const
 }
 
 unsigned
-PairwiseStore::wayIndex(Addr trigger, unsigned ways) const
+PairwiseStore::wayFromHash(std::uint64_t h, unsigned ways) const
 {
     // Second-level index over the *currently allocated* ways: this is the
     // function that changes on resize and misplaces entries (Fig 5a).
-    return ways == 0
-               ? 0
-               : static_cast<unsigned>((mix64(trigger) >> 32) % ways);
-}
-
-std::vector<PairwiseStore::Entry>&
-PairwiseStore::block(std::uint32_t set, unsigned way)
-{
-    return blocks_[static_cast<std::size_t>(set) * params_.maxWays + way];
+    // Kept as a modulo -- the way count is rarely a power of two.
+    return ways == 0 ? 0 : static_cast<unsigned>((h >> 32) % ways);
 }
 
 PairwiseStore::Entry*
 PairwiseStore::findEntry(Addr trigger)
 {
-    return findEntry(trigger, setIndex(trigger));
+    return findEntry(trigger, mix64(trigger));
 }
 
 PairwiseStore::Entry*
-PairwiseStore::findEntry(Addr trigger, std::uint32_t set)
+PairwiseStore::findEntry(Addr trigger, std::uint64_t h)
 {
+    const std::uint32_t set = static_cast<std::uint32_t>(h) & setMask_;
     const unsigned ways = waysFor(set);
     if (ways == 0)
         return nullptr;
-    auto& blk = block(set, wayIndex(trigger, ways));
-    for (auto& e : blk) {
-        if (e.valid && e.trigger == trigger)
+    Entry* blk = &slots_[blockBase(set, wayFromHash(h, ways))];
+    for (unsigned i = 0; i < params_.entriesPerBlock; ++i) {
+        Entry& e = blk[i];
+        if (e.valid() && e.trigger == trigger)
             return &e;
     }
     return nullptr;
@@ -92,49 +116,52 @@ PairwiseStore::findEntry(Addr trigger, std::uint32_t set)
 std::optional<Addr>
 PairwiseStore::lookup(Addr trigger)
 {
-    // One set computation serves the probe, the sampled-set test, and
-    // (on the insert path) the victim scan.
-    const std::uint32_t set = setIndex(trigger);
-    if (Entry* e = findEntry(trigger, set)) {
-        ++stats_.counter("hits");
+    // ONE hash per operation: set index, way index, sampled-set test,
+    // and (for utilityRepl inserts) the reuse-predictor slot all derive
+    // from this value.
+    const std::uint64_t h = mix64(trigger);
+    const std::uint32_t set = static_cast<std::uint32_t>(h) & setMask_;
+    if (Entry* e = findEntry(trigger, h)) {
+        ++hitsCtr_;
         if (sampledSet(set)) {
-            ++stats_.counter("sampled_hits");
+            ++sampledHitsCtr_;
             ++sampledHitsEpoch_;
         }
-        e->rrpv = 0;
+        e->meta = Entry::kValid; // RRPV -> 0
         Addr target = e->target;
         // Injected fault: the metadata read may return a flipped bit.
         // Only the returned copy is corrupted, as a transient read error
         // would leave the stored entry intact.
         if (faults_ && faults_->corruptMetadataTarget(target))
-            ++stats_.counter("corrupt_reads");
+            ++corruptReadsCtr_;
         return target;
     }
-    ++stats_.counter("misses");
+    ++missesCtr_;
     return std::nullopt;
 }
 
 void
 PairwiseStore::insert(Addr trigger, Addr target)
 {
-    const std::uint32_t set = setIndex(trigger);
+    const std::uint64_t h = mix64(trigger);
+    const std::uint32_t set = static_cast<std::uint32_t>(h) & setMask_;
     const unsigned ways = waysFor(set);
     if (ways == 0)
         return;
-    ++stats_.counter("inserts");
+    ++insertsCtr_;
 
-    if (Entry* e = findEntry(trigger, set)) {
+    if (Entry* e = findEntry(trigger, h)) {
         if (params_.utilityRepl) {
             // TP-style utility: the *correlation* repeating is the signal,
             // not the trigger alone.
-            auto& p = reusePred_[mix64(trigger) % reusePred_.size()];
+            auto& p = reusePred_[h & (reusePred_.size() - 1)];
             if (e->target == target)
                 p = static_cast<std::int8_t>(std::min(8, p + 1));
             else
                 p = static_cast<std::int8_t>(std::max(-8, p - 2));
         }
         e->target = target;
-        e->rrpv = 0;
+        e->meta = Entry::kValid; // RRPV -> 0
         return;
     }
 
@@ -143,43 +170,47 @@ PairwiseStore::insert(Addr trigger, Addr target)
     // which keeps a resident subset alive under cyclic miss streams.
     std::uint8_t insert_rrpv = (mix64(trigger ^ 0x5bd1) & 7) == 0 ? 2 : 3;
     if (params_.utilityRepl) {
-        const auto pred = reusePred_[mix64(trigger) % reusePred_.size()];
+        const auto pred = reusePred_[h & (reusePred_.size() - 1)];
         if (pred < 0)
             insert_rrpv = 3; // predicted useless: evict first
         else if (pred > 2)
             insert_rrpv = 1; // proven stable correlation: protect
     }
 
-    auto& blk = block(set, wayIndex(trigger, ways));
+    Entry* blk = &slots_[blockBase(set, wayFromHash(h, ways))];
+    const unsigned epb = params_.entriesPerBlock;
     // SRRIP victim selection among the block's slots.
     while (true) {
-        for (auto& e : blk) {
-            if (!e.valid) {
-                e = Entry{true, trigger, target, insert_rrpv};
+        for (unsigned i = 0; i < epb; ++i) {
+            if (!blk[i].valid()) {
+                blk[i].fill(trigger, target, insert_rrpv);
                 ++liveEntries_;
                 return;
             }
         }
-        for (auto& e : blk) {
-            if (e.rrpv >= 3) {
-                ++stats_.counter("evictions");
-                e = Entry{true, trigger, target, insert_rrpv};
+        for (unsigned i = 0; i < epb; ++i) {
+            if (blk[i].rrpv() >= 3) {
+                ++evictionsCtr_;
+                blk[i].fill(trigger, target, insert_rrpv);
                 return;
             }
         }
-        for (auto& e : blk)
-            ++e.rrpv;
+        // All slots valid (checked above), so a bare increment ages the
+        // RRPV bits without touching the valid bit.
+        for (unsigned i = 0; i < epb; ++i)
+            ++blk[i].meta;
     }
 }
 
 void
 PairwiseStore::probeSampled(Addr trigger)
 {
-    const std::uint32_t set = setIndex(trigger);
+    const std::uint64_t h = mix64(trigger);
+    const std::uint32_t set = static_cast<std::uint32_t>(h) & setMask_;
     if (!sampledSet(set))
         return;
-    if (findEntry(trigger, set)) {
-        ++stats_.counter("sampled_hits");
+    if (findEntry(trigger, h)) {
+        ++sampledHitsCtr_;
         ++sampledHitsEpoch_;
     }
 }
@@ -188,7 +219,7 @@ void
 PairwiseStore::erase(Addr trigger)
 {
     if (Entry* e = findEntry(trigger)) {
-        e->valid = false;
+        e->meta = 3; // invalid, distant RRPV
         --liveEntries_;
     }
 }
@@ -199,10 +230,10 @@ PairwiseStore::audit(Cycle now) const
     std::uint64_t live = 0;
     for (std::uint32_t s = 0; s < params_.sets; ++s) {
         for (unsigned w = 0; w < params_.maxWays; ++w) {
-            const auto& blk =
-                blocks_[static_cast<std::size_t>(s) * params_.maxWays + w];
-            for (const Entry& e : blk) {
-                if (!e.valid)
+            const Entry* blk = &slots_[blockBase(s, w)];
+            for (unsigned i = 0; i < params_.entriesPerBlock; ++i) {
+                const Entry& e = blk[i];
+                if (!e.valid())
                     continue;
                 ++live;
                 SL_CHECK_AT(setIndex(e.trigger) == s, "pairwise_store",
@@ -213,6 +244,9 @@ PairwiseStore::audit(Cycle now) const
                 SL_CHECK_AT(w < waysFor(s), "pairwise_store", now,
                             "live entry in deallocated way " << w
                                 << " of set " << s);
+                SL_CHECK_AT(e.rrpv() <= 3, "pairwise_store", now,
+                            "RRPV " << unsigned(e.rrpv())
+                                    << " out of range in set " << s);
             }
         }
     }
@@ -241,18 +275,20 @@ PairwiseStore::resize(unsigned ways)
         if (sampledSet(s))
             continue;
         for (unsigned w = 0; w < old_ways; ++w) {
-            auto& blk = block(s, w);
-            for (auto& e : blk) {
-                if (!e.valid)
+            Entry* blk = &slots_[blockBase(s, w)];
+            for (unsigned i = 0; i < params_.entriesPerBlock; ++i) {
+                Entry& e = blk[i];
+                if (!e.valid())
                     continue;
                 if (ways == 0) {
-                    e.valid = false;
+                    e.meta = 3;
                     --liveEntries_;
                     continue;
                 }
-                if (wayIndex(e.trigger, ways) != w || w >= ways) {
+                if (wayFromHash(mix64(e.trigger), ways) != w ||
+                    w >= ways) {
                     moved.push_back(e);
-                    e.valid = false;
+                    e.meta = 3;
                     --liveEntries_;
                 }
             }

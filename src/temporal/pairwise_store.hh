@@ -8,6 +8,13 @@
  * slots under SRRIP replacement. Resizing changes the way-index function,
  * misplacing entries; rearrangement cost is reported to the caller
  * (Triangel shuffles up to 1MB of metadata per resize, §III-C2).
+ *
+ * Fast-path layout (DESIGN.md §8): sets and sampledSets are rounded up to
+ * powers of two at construction so every per-access derivation -- set
+ * index, sampled-set membership, reuse-predictor slot -- is a mask over
+ * ONE mix64() of the trigger, and all entries live in one contiguous
+ * slot array (valid bit folded into the RRPV byte) instead of 16K heap
+ * blocks.
  */
 
 #ifndef SL_TEMPORAL_PAIRWISE_STORE_HH
@@ -27,7 +34,9 @@ namespace sl
 /** Configuration for a pairwise metadata store. */
 struct PairwiseStoreParams
 {
-    std::uint32_t sets = 2048;     //!< virtual LLC sets available
+    /** Virtual LLC sets available; rounded UP to a power of two at
+     *  construction (every real geometry is one already). */
+    std::uint32_t sets = 2048;
     unsigned maxWays = 8;          //!< largest metadata partition, in ways
     unsigned entriesPerBlock = 12; //!< 12 uncompressed, 16 LUT-compressed
     /**
@@ -37,7 +46,8 @@ struct PairwiseStoreParams
      */
     bool utilityRepl = false;
     /** Permanently full-size sampled sets used by the partitioner to
-     *  measure metadata utility (mirrors Streamline's 64 sets). */
+     *  measure metadata utility (mirrors Streamline's 64 sets); also
+     *  rounded up to a power of two. */
     unsigned sampledSets = 64;
 };
 
@@ -51,7 +61,11 @@ class PairwiseStore
     std::optional<Addr> lookup(Addr trigger);
 
     /** Is @p set one of the permanently full-size sampled sets? */
-    bool sampledSet(std::uint32_t set) const;
+    bool
+    sampledSet(std::uint32_t set) const
+    {
+        return (set & sampledMask_) == sampledMatch_;
+    }
 
     /** Hits observed in sampled sets since the last call (and reset). */
     std::uint64_t takeSampledHits();
@@ -101,31 +115,64 @@ class PairwiseStore
     void audit(Cycle now) const;
 
   private:
+    /**
+     * One correlation slot. The valid bit lives in the top of the RRPV
+     * byte so a slot packs into 24 bytes and the SRRIP aging loop (which
+     * only ever runs on all-valid blocks) is a bare increment.
+     */
     struct Entry
     {
-        bool valid = false;
         Addr trigger = 0;
         Addr target = 0;
-        std::uint8_t rrpv = 3;
+        std::uint8_t meta = 3; //!< bit 7: valid; low bits: RRPV (0..3)
+
+        static constexpr std::uint8_t kValid = 0x80;
+
+        bool valid() const { return meta & kValid; }
+        std::uint8_t rrpv() const { return meta & 0x7f; }
+        void
+        fill(Addr t, Addr tgt, std::uint8_t insert_rrpv)
+        {
+            trigger = t;
+            target = tgt;
+            meta = static_cast<std::uint8_t>(kValid | insert_rrpv);
+        }
     };
+    static_assert(sizeof(Entry) <= 24, "pairwise slot must stay packed");
 
     std::uint32_t setIndex(Addr trigger) const;
-    unsigned wayIndex(Addr trigger, unsigned ways) const;
+    unsigned wayFromHash(std::uint64_t h, unsigned ways) const;
     unsigned waysFor(std::uint32_t set) const;
     Entry* findEntry(Addr trigger);
-    Entry* findEntry(Addr trigger, std::uint32_t set);
-    std::vector<Entry>& block(std::uint32_t set, unsigned way);
+    Entry* findEntry(Addr trigger, std::uint64_t h);
+    /** First slot of block (set, way) in the flat array. */
+    std::size_t
+    blockBase(std::uint32_t set, unsigned way) const
+    {
+        return (static_cast<std::size_t>(set) * params_.maxWays + way) *
+               params_.entriesPerBlock;
+    }
 
     PairwiseStoreParams params_;
     unsigned ways_;
-    /** blocks_[set * maxWays + way] -> entriesPerBlock slots. */
-    std::vector<std::vector<Entry>> blocks_;
+    std::uint32_t setMask_;     //!< sets - 1 (sets is a power of two)
+    std::uint32_t sampledMask_; //!< stride - 1, or 0 for the all/none cases
+    std::uint32_t sampledMatch_; //!< 0 normally; 1 when nothing is sampled
+    /** Flat slot array: slots_[blockBase(set, way) + i]. */
+    std::vector<Entry> slots_;
     std::uint64_t liveEntries_ = 0;
     /** Per-trigger-hash reuse predictor for utilityRepl (-8..8). */
     std::vector<std::int8_t> reusePred_;
     std::uint64_t sampledHitsEpoch_ = 0;
     FaultInjector* faults_ = nullptr;
     StatGroup stats_;
+    // Hot counters resolved once (stats_.counter is a map lookup).
+    Counter& hitsCtr_{stats_.counter("hits")};
+    Counter& missesCtr_{stats_.counter("misses")};
+    Counter& sampledHitsCtr_{stats_.counter("sampled_hits")};
+    Counter& insertsCtr_{stats_.counter("inserts")};
+    Counter& evictionsCtr_{stats_.counter("evictions")};
+    Counter& corruptReadsCtr_{stats_.counter("corrupt_reads")};
 };
 
 } // namespace sl
