@@ -58,6 +58,13 @@ partialTriggerTag(Addr block, unsigned bits)
     return static_cast<std::uint16_t>(foldXor(mix64(block) >> 10, bits));
 }
 
+/** partialTriggerTag for a caller that already holds mix64(block). */
+constexpr std::uint16_t
+partialTagFromHash(std::uint64_t h, unsigned bits)
+{
+    return static_cast<std::uint16_t>(foldXor(h >> 10, bits));
+}
+
 /** 8-bit address hash used by TP-Mockingjay sampler entries (§IV-E8). */
 constexpr std::uint8_t
 hash8(std::uint64_t v)

@@ -76,6 +76,50 @@ class StatGroup
     std::map<std::string, Counter> counters_;
 };
 
+/**
+ * Hot-path counter handle that preserves lazy registration.
+ *
+ * Snapshots (and the determinism digests built on them) only contain
+ * counters that have actually fired, so a counter that is hoisted into a
+ * member must NOT register itself at construction. HotCounter resolves
+ * the map lookup on the first increment -- identical observable
+ * behaviour to calling StatGroup::counter() at each site -- and sticks
+ * to the cached pointer afterwards.
+ */
+class HotCounter
+{
+  public:
+    HotCounter(StatGroup& group, const char* key)
+        : group_(group), key_(key)
+    {
+    }
+
+    HotCounter& operator++()
+    {
+        ++resolve();
+        return *this;
+    }
+
+    HotCounter& operator+=(std::uint64_t v)
+    {
+        resolve() += v;
+        return *this;
+    }
+
+  private:
+    Counter&
+    resolve()
+    {
+        if (!counter_)
+            counter_ = &group_.counter(key_);
+        return *counter_;
+    }
+
+    StatGroup& group_;
+    const char* key_;
+    Counter* counter_ = nullptr;
+};
+
 /** Ratio helper that is safe against zero denominators. */
 inline double
 ratio(std::uint64_t num, std::uint64_t den)

@@ -1,6 +1,7 @@
 #include "core/stream_store.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/hash.hh"
 
@@ -23,6 +24,7 @@ StreamStore::StreamStore(const StreamStoreParams& params)
       ways_(params.ways),
       slots_(static_cast<std::size_t>(params.sets) * params.ways *
              streamEntriesPerBlock(params.streamLength)),
+      occ_(static_cast<std::size_t>(params.sets) * params.ways, 0),
       stats_("stream_store")
 {
     SL_REQUIRE(params_.streamLength > 0 &&
@@ -46,54 +48,69 @@ StreamStore::StreamStore(const StreamStoreParams& params)
     SL_REQUIRE(params_.partialTagBits > 0 && params_.partialTagBits <= 16,
                "stream_store", "partial tags are 1..16 bits, got "
                                    << params_.partialTagBits);
+    SL_REQUIRE(epb_ <= 16, "stream_store",
+               "occupancy words hold at most 16 slots per way");
+    setMask_ = params_.sets - 1;
+    sampledMask_ = params_.sets / params_.sampledSets - 1;
+    fullMask_ = static_cast<std::uint16_t>((1u << epb_) - 1);
+    denPow2_ = powerOfTwo(setDen_);
+    denMask_ = setDen_ - 1;
     if (params_.repl == MetaRepl::TpMockingjay)
         tpmj_ = std::make_unique<TpMockingjay>(params_.sets);
 }
 
-std::uint32_t
-StreamStore::indexOf(Addr trigger) const
+StreamStore::Ref
+StreamStore::refOf(Addr trigger) const
 {
     const std::uint64_t h = mix64(trigger);
-    if (!params_.skewedIndex)
-        return static_cast<std::uint32_t>(h % params_.sets);
+    std::uint32_t set;
+    if (!params_.skewedIndex) {
+        set = static_cast<std::uint32_t>(h) & setMask_;
+    } else {
+        // Skewed indexing (§V-D6): bias triggers toward sets that remain
+        // allocated at small partition sizes. 40% of triggers map onto
+        // multiples of 8, 30% onto multiples of 4, 20% onto multiples of
+        // 2, and 10% anywhere.
+        const unsigned r = static_cast<unsigned>(h % 100);
+        const std::uint64_t h2 = h / 100;
+        unsigned align;
+        if (r < 40)
+            align = 8;
+        else if (r < 70)
+            align = 4;
+        else if (r < 90)
+            align = 2;
+        else
+            align = 1;
+        set = static_cast<std::uint32_t>((h2 % (params_.sets / align)) *
+                                         align);
+    }
+    return Ref{set, partialTagFromHash(h, params_.partialTagBits), h};
+}
 
-    // Skewed indexing (§V-D6): bias triggers toward sets that remain
-    // allocated at small partition sizes. 40% of triggers map onto
-    // multiples of 8, 30% onto multiples of 4, 20% onto multiples of 2,
-    // and 10% anywhere.
-    const unsigned r = static_cast<unsigned>(h % 100);
-    const std::uint64_t h2 = h / 100;
-    unsigned align;
-    if (r < 40)
-        align = 8;
-    else if (r < 70)
-        align = 4;
-    else if (r < 90)
-        align = 2;
+std::uint16_t&
+StreamStore::occWord(std::uint32_t set, unsigned way)
+{
+    return occ_[static_cast<std::size_t>(set) * params_.ways + way];
+}
+
+void
+StreamStore::markSlot(std::uint32_t set, unsigned way, unsigned idx,
+                      bool on)
+{
+    std::uint16_t& w = occWord(set, way);
+    if (on)
+        w = static_cast<std::uint16_t>(w | (1u << idx));
     else
-        align = 1;
-    return static_cast<std::uint32_t>((h2 % (params_.sets / align)) *
-                                      align);
-}
-
-bool
-StreamStore::sampledSet(std::uint32_t set) const
-{
-    return set % (params_.sets / params_.sampledSets) == 0;
-}
-
-bool
-StreamStore::allocated(std::uint32_t set) const
-{
-    if (sampledSet(set))
-        return true;
-    return setDen_ != 0 && set % setDen_ == 0;
+        w = static_cast<std::uint16_t>(w & ~(1u << idx));
 }
 
 std::uint64_t
 StreamStore::setAllocation(unsigned set_den, unsigned ways)
 {
     setDen_ = set_den;
+    denPow2_ = powerOfTwo(setDen_);
+    denMask_ = setDen_ - 1;
     if (ways > 0 && ways <= params_.ways)
         ways_ = ways;
 
@@ -103,7 +120,7 @@ StreamStore::setAllocation(unsigned set_den, unsigned ways)
         const bool live_set = allocated(s);
         for (unsigned w = 0; w < params_.ways; ++w) {
             const bool live_way = live_set && w < ways_;
-            if (live_way)
+            if (live_way || occWord(s, w) == 0)
                 continue;
             Slot* arr = slotArray(s, w);
             for (unsigned i = 0; i < epb_; ++i) {
@@ -113,6 +130,7 @@ StreamStore::setAllocation(unsigned set_den, unsigned ways)
                     ++dropped;
                 }
             }
+            occWord(s, w) = 0;
         }
     }
     stats_.counter("allocation_drops") += dropped;
@@ -127,12 +145,20 @@ StreamStore::slotArray(std::uint32_t set, unsigned way)
 }
 
 StreamStore::Slot*
-StreamStore::findTrigger(std::uint32_t set, Addr trigger)
+StreamStore::findTrigger(std::uint32_t set, Addr trigger,
+                         std::uint16_t ptag)
 {
+    // The partial tag is a pure function of the stored trigger, so
+    // filtering on it first can never skip a true match; it turns the
+    // common miss case into a byte compare per slot and skips empty
+    // ways outright via the occupancy words.
     for (unsigned w = 0; w < ways_; ++w) {
+        if (occWord(set, w) == 0)
+            continue;
         Slot* arr = slotArray(set, w);
         for (unsigned i = 0; i < epb_; ++i) {
-            if (arr[i].valid && arr[i].entry.trigger == trigger)
+            if (arr[i].ptag == ptag && arr[i].valid &&
+                arr[i].entry.trigger == trigger)
                 return &arr[i];
         }
     }
@@ -144,6 +170,8 @@ StreamStore::ageSet(std::uint32_t set)
 {
     if (tpmj_ && tpmj_->tickSet(set)) {
         for (unsigned w = 0; w < ways_; ++w) {
+            if (occWord(set, w) == 0)
+                continue;
             Slot* arr = slotArray(set, w);
             for (unsigned i = 0; i < epb_; ++i) {
                 if (arr[i].valid && arr[i].etr > -TpMockingjay::kMaxEtr)
@@ -154,19 +182,19 @@ StreamStore::ageSet(std::uint32_t set)
 }
 
 std::optional<StreamEntry>
-StreamStore::lookup(Addr trigger)
+StreamStore::lookupAt(const Ref& ref, Addr trigger)
 {
-    const std::uint32_t set = indexOf(trigger);
+    const std::uint32_t set = ref.set;
     if (!allocated(set)) {
-        ++stats_.counter("filtered_lookups");
-        ++stats_.counter("misses");
+        ++filteredLookupsCtr_;
+        ++missesCtr_;
         return std::nullopt;
     }
     ageSet(set);
-    if (Slot* s = findTrigger(set, trigger)) {
-        ++stats_.counter("hits");
+    if (Slot* s = findTrigger(set, trigger, ref.ptag)) {
+        ++hitsCtr_;
         if (sampledSet(set))
-            ++stats_.counter("sampled_hits");
+            ++sampledHitsCtr_;
         // Promotion: re-predict the remaining lifetime.
         if (tpmj_)
             s->etr = static_cast<std::int8_t>(tpmj_->predict(s->pc));
@@ -177,29 +205,31 @@ StreamStore::lookup(Addr trigger)
         // entry stays intact, as a transient read error would leave it.
         if (faults_ && e.length > 0 &&
             faults_->corruptMetadataTarget(e.targets[0]))
-            ++stats_.counter("corrupt_reads");
+            ++corruptReadsCtr_;
         return e;
     }
-    ++stats_.counter("misses");
+    ++missesCtr_;
     return std::nullopt;
 }
 
 StreamStore::Slot*
-StreamStore::chooseVictim(std::uint32_t set, Addr trigger,
-                          std::uint16_t ptag)
+StreamStore::chooseVictim(const Ref& ref)
 {
+    const std::uint32_t set = ref.set;
     // Partial-tag aliasing constraint (§V-D5): if some way already holds
     // an entry with this partial tag, the new entry must land in that way
     // so a metadata access needs only one LLC read.
     unsigned way_lo = 0, way_hi = ways_;
     if (params_.tagged) {
         for (unsigned w = 0; w < ways_; ++w) {
+            if (occWord(set, w) == 0)
+                continue;
             Slot* arr = slotArray(set, w);
             for (unsigned i = 0; i < epb_; ++i) {
-                if (arr[i].valid && arr[i].ptag == ptag) {
+                if (arr[i].valid && arr[i].ptag == ref.ptag) {
                     way_lo = w;
                     way_hi = w + 1;
-                    ++stats_.counter("alias_constrained");
+                    ++aliasConstrainedCtr_;
                     goto constrained;
                 }
             }
@@ -208,19 +238,30 @@ StreamStore::chooseVictim(std::uint32_t set, Addr trigger,
     } else {
         // Untagged: a second-level hash pins the trigger to one way
         // (the low-associativity failure mode of Table I).
-        const unsigned w = static_cast<unsigned>(
-            (mix64(trigger) >> 32) % ways_);
+        const unsigned w =
+            static_cast<unsigned>((ref.hash >> 32) % ways_);
         way_lo = w;
         way_hi = w + 1;
     }
 
+    // A free slot wins outright; the occupancy word finds the first one
+    // (matching the slot-order scan) without touching the slots.
+    for (unsigned w = way_lo; w < way_hi; ++w) {
+        const std::uint16_t occ = occWord(set, w);
+        if (occ != fullMask_) {
+            const unsigned idx = static_cast<unsigned>(
+                std::countr_zero(static_cast<std::uint16_t>(~occ &
+                                                            fullMask_)));
+            return slotArray(set, w) + idx;
+        }
+    }
+
+    // Every candidate slot is occupied: pick the policy's victim.
     Slot* victim = nullptr;
     for (unsigned w = way_lo; w < way_hi; ++w) {
         Slot* arr = slotArray(set, w);
         for (unsigned i = 0; i < epb_; ++i) {
             Slot& s = arr[i];
-            if (!s.valid)
-                return &s;
             if (!victim) {
                 victim = &s;
                 continue;
@@ -252,26 +293,25 @@ StreamStore::insert(const StreamEntry& e, PC pc)
                                  << unsigned{e.length}
                                  << " outside [1, "
                                  << params_.streamLength << "]");
-    const std::uint32_t set = indexOf(e.trigger);
+    const Ref ref = refOf(e.trigger);
+    const std::uint32_t set = ref.set;
     if (!allocated(set)) {
-        ++stats_.counter("filtered_inserts");
+        ++filteredInsertsCtr_;
         return InsertOutcome::Filtered;
     }
     ageSet(set);
 
-    if (Slot* s = findTrigger(set, e.trigger)) {
+    if (Slot* s = findTrigger(set, e.trigger, ref.ptag)) {
         s->entry = e;
         s->pc = pc;
         if (tpmj_)
             s->etr = static_cast<std::int8_t>(tpmj_->predict(pc));
         s->rrpv = 0;
-        ++stats_.counter("updates");
+        ++updatesCtr_;
         return InsertOutcome::Updated;
     }
 
-    const std::uint16_t ptag =
-        partialTriggerTag(e.trigger, params_.partialTagBits);
-    Slot* victim = chooseVictim(set, e.trigger, ptag);
+    Slot* victim = chooseVictim(ref);
     SL_CHECK(victim != nullptr, "stream_store",
              "no victim candidate in set " << set
                                            << " (broken way bounds)");
@@ -286,36 +326,48 @@ StreamStore::insert(const StreamEntry& e, PC pc)
         const int victim_score = score(victim->etr);
         const int incoming_score = score(tpmj_->predict(pc));
         if (incoming_score >= victim_score) {
-            ++stats_.counter("bypassed");
+            ++bypassedCtr_;
             return InsertOutcome::Bypassed;
         }
     }
     if (victim->valid) {
-        ++stats_.counter("evictions");
+        ++evictionsCtr_;
         --liveEntries_;
     }
     victim->valid = true;
     victim->entry = e;
-    victim->ptag = ptag;
+    victim->ptag = ref.ptag;
     victim->pc = pc;
     victim->rrpv = 2;
     victim->etr = tpmj_
                       ? static_cast<std::int8_t>(tpmj_->predict(pc))
                       : 0;
     ++liveEntries_;
-    ++stats_.counter("inserts");
+    ++insertsCtr_;
+    // Recover (set, way, slot) from the victim's position to keep the
+    // occupancy word in step.
+    const std::size_t flat = static_cast<std::size_t>(victim -
+                                                      slots_.data());
+    markSlot(set,
+             static_cast<unsigned>(flat / epb_ % params_.ways),
+             static_cast<unsigned>(flat % epb_), true);
     return InsertOutcome::Stored;
 }
 
 void
 StreamStore::erase(Addr trigger)
 {
-    const std::uint32_t set = indexOf(trigger);
-    if (!allocated(set))
+    const Ref ref = refOf(trigger);
+    if (!allocated(ref.set))
         return;
-    if (Slot* s = findTrigger(set, trigger)) {
+    if (Slot* s = findTrigger(ref.set, trigger, ref.ptag)) {
         s->valid = false;
         --liveEntries_;
+        const std::size_t flat = static_cast<std::size_t>(s -
+                                                          slots_.data());
+        markSlot(ref.set,
+                 static_cast<unsigned>(flat / epb_ % params_.ways),
+                 static_cast<unsigned>(flat % epb_), false);
     }
 }
 
@@ -332,12 +384,17 @@ StreamStore::audit(Cycle now) const
     std::uint64_t live = 0;
     for (std::uint32_t set = 0; set < params_.sets; ++set) {
         for (unsigned w = 0; w < params_.ways; ++w) {
-            const Slot* arr =
-                &slots_[(static_cast<std::size_t>(set) * params_.ways +
-                         w) *
-                        epb_];
+            const std::size_t base =
+                (static_cast<std::size_t>(set) * params_.ways + w) * epb_;
+            const std::uint16_t occ =
+                occ_[static_cast<std::size_t>(set) * params_.ways + w];
             for (unsigned i = 0; i < epb_; ++i) {
-                const Slot& s = arr[i];
+                const Slot& s = slots_[base + i];
+                SL_CHECK_AT(((occ >> i) & 1u) == (s.valid ? 1u : 0u),
+                            "stream_store", now,
+                            "occupancy bit for set " << set << " way " << w
+                                << " slot " << i
+                                << " disagrees with the valid flag");
                 if (!s.valid)
                     continue;
                 ++live;
@@ -351,6 +408,13 @@ StreamStore::audit(Cycle now) const
                             "entry for trigger 0x"
                                 << std::hex << s.entry.trigger << std::dec
                                 << " misplaced in set " << set);
+                SL_CHECK_AT(s.ptag ==
+                                partialTriggerTag(s.entry.trigger,
+                                                  params_.partialTagBits),
+                            "stream_store", now,
+                            "stored partial tag does not match trigger 0x"
+                                << std::hex << s.entry.trigger << std::dec
+                                << " in set " << set);
                 SL_CHECK_AT(s.entry.length > 0 &&
                                 s.entry.length <= params_.streamLength,
                             "stream_store", now,

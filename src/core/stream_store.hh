@@ -10,6 +10,13 @@
  * rearrangement. Partial trigger tags live in the LLC tag store, giving
  * effective 32-way associativity (8 ways x 4 entries); aliasing partial
  * tags constrain placement (§V-D5). Replacement is TP-Mockingjay or SRRIP.
+ *
+ * Fast path (DESIGN.md §8): one mix64() of the trigger yields the home
+ * set, the partial tag, and (via Ref) the sampled-set test; per-way
+ * occupancy bitmasks let trigger scans skip empty ways and victim search
+ * jump straight to the first free slot; the partial tag pre-filters the
+ * trigger comparison (every valid slot's tag is derived from its stored
+ * trigger, so the filter is exact).
  */
 
 #ifndef SL_CORE_STREAM_STORE_HH
@@ -66,19 +73,47 @@ class StreamStore
   public:
     explicit StreamStore(const StreamStoreParams& params);
 
+    /**
+     * Precomputed per-trigger derivations: home set and partial tag from
+     * ONE hash. Callers that need the set for an allocation check, the
+     * lookup itself, and the sampled-set test (Streamline's prefetch
+     * chain walk) compute this once per hop instead of re-hashing.
+     */
+    struct Ref
+    {
+        std::uint32_t set;
+        std::uint16_t ptag;
+        std::uint64_t hash;
+    };
+
+    /** Derive the home set and partial tag of @p trigger (one hash). */
+    Ref refOf(Addr trigger) const;
+
     /** Stream entries per metadata block at this stream length. */
     unsigned entriesPerBlock() const { return epb_; }
 
     /**
      * Home set of @p trigger under the static (max-size) index function.
      */
-    std::uint32_t indexOf(Addr trigger) const;
+    std::uint32_t indexOf(Addr trigger) const { return refOf(trigger).set; }
 
     /** Is @p set currently allocated for metadata? */
-    bool allocated(std::uint32_t set) const;
+    bool
+    allocated(std::uint32_t set) const
+    {
+        if (sampledSet(set))
+            return true;
+        if (setDen_ == 0)
+            return false;
+        return denPow2_ ? (set & denMask_) == 0 : set % setDen_ == 0;
+    }
 
     /** Is @p set one of the permanently allocated sampled sets? */
-    bool sampledSet(std::uint32_t set) const;
+    bool
+    sampledSet(std::uint32_t set) const
+    {
+        return (set & sampledMask_) == 0;
+    }
 
     /**
      * Change the allocation: sets where set % setDen == 0 (plus sampled
@@ -93,7 +128,14 @@ class StreamStore
     unsigned allocationWays() const { return ways_; }
 
     /** Look up the entry whose *trigger* is @p trigger. */
-    std::optional<StreamEntry> lookup(Addr trigger);
+    std::optional<StreamEntry>
+    lookup(Addr trigger)
+    {
+        return lookupAt(refOf(trigger), trigger);
+    }
+
+    /** Look up @p trigger through a precomputed Ref (no re-hash). */
+    std::optional<StreamEntry> lookupAt(const Ref& ref, Addr trigger);
 
     /** Insert or update @p e (trained by @p pc, for TP-Mockingjay). */
     InsertOutcome insert(const StreamEntry& e, PC pc);
@@ -123,8 +165,9 @@ class StreamStore
     /**
      * Audit the store's structural invariants; throws SimError on
      * violation. Checks: the live-entry count matches the valid slots,
-     * every valid entry is homed to an allocated set, and stream lengths
-     * respect the configured bound.
+     * every valid entry is homed to an allocated set, stream lengths
+     * respect the configured bound, stored partial tags match their
+     * triggers, and the occupancy masks mirror the valid bits.
      */
     void audit(Cycle now) const;
 
@@ -140,19 +183,41 @@ class StreamStore
     };
 
     Slot* slotArray(std::uint32_t set, unsigned way);
-    Slot* findTrigger(std::uint32_t set, Addr trigger);
-    Slot* chooseVictim(std::uint32_t set, Addr trigger, std::uint16_t ptag);
+    Slot* findTrigger(std::uint32_t set, Addr trigger, std::uint16_t ptag);
+    Slot* chooseVictim(const Ref& ref);
     void ageSet(std::uint32_t set);
+    void markSlot(std::uint32_t set, unsigned way, unsigned idx, bool on);
+    std::uint16_t& occWord(std::uint32_t set, unsigned way);
 
     StreamStoreParams params_;
     unsigned epb_;
     unsigned setDen_ = 1; //!< current allocation denominator (0 = off)
     unsigned ways_;
+    std::uint32_t setMask_;     //!< sets - 1 (sets is a power of two)
+    std::uint32_t sampledMask_; //!< sampled-set stride - 1
+    bool denPow2_ = true;       //!< UADP denominators {0,1,2} all qualify
+    std::uint32_t denMask_ = 0; //!< setDen_ - 1 when denPow2_
+    std::uint16_t fullMask_;    //!< all-epb-slots-valid occupancy word
     std::vector<Slot> slots_;
+    /** Per-(set, way) valid bitmask; epb_ <= 14 fits a 16-bit word. */
+    std::vector<std::uint16_t> occ_;
     std::uint64_t liveEntries_ = 0;
     std::unique_ptr<TpMockingjay> tpmj_;
     FaultInjector* faults_ = nullptr;
     StatGroup stats_;
+    // Hot-path counters; lazily registered so stat snapshots (and the
+    // determinism digests over them) are unchanged by the hoist.
+    HotCounter hitsCtr_{stats_, "hits"};
+    HotCounter missesCtr_{stats_, "misses"};
+    HotCounter sampledHitsCtr_{stats_, "sampled_hits"};
+    HotCounter filteredLookupsCtr_{stats_, "filtered_lookups"};
+    HotCounter filteredInsertsCtr_{stats_, "filtered_inserts"};
+    HotCounter updatesCtr_{stats_, "updates"};
+    HotCounter insertsCtr_{stats_, "inserts"};
+    HotCounter evictionsCtr_{stats_, "evictions"};
+    HotCounter bypassedCtr_{stats_, "bypassed"};
+    HotCounter aliasConstrainedCtr_{stats_, "alias_constrained"};
+    HotCounter corruptReadsCtr_{stats_, "corrupt_reads"};
 };
 
 } // namespace sl

@@ -55,12 +55,20 @@ StreamlinePrefetcher::tuFor(PC pc)
 {
     TuEntry& tu = tu_[mix64(pc) % tu_.size()];
     if (!tu.valid || tu.pc != pc) {
-        tu = TuEntry{};
+        // Field-wise reset: reassigning a fresh TuEntry would free and
+        // re-reserve the buffer vector on every conflict, and this runs
+        // on the per-miss path.
         tu.pc = pc;
         tu.valid = true;
+        tu.cur = StreamEntry{};
+        tu.prevTail = 0;
+        tu.hasTrigger = false;
+        tu.buffer.clear();
+        tu.epochAccesses = 0;
+        tu.epochInsertions = 0;
         tu.degree = cfg_.maxDegree;
         // The buffer needs at least one slot for stream alignment even
-        // in the -MB ablation.
+        // in the -MB ablation; after the first conflict this is a no-op.
         tu.buffer.reserve(std::max(1u, cfg_.bufferEntries));
     }
     return tu;
@@ -85,10 +93,10 @@ StreamlinePrefetcher::onAccess(const AccessInfo& info)
         return;
 
     const Addr block = blockNumber(info.addr);
-    ++stats_.counter("train_events");
+    ++trainEventsCtr_;
 
     if (info.prefetchHit) {
-        ++stats_.counter("useful_feedback");
+        ++usefulFeedbackCtr_;
         uadp_->onPrefetchUseful();
     }
 
@@ -289,25 +297,28 @@ StreamlinePrefetcher::issuePrefetches(TuEntry& tu, Addr block, Cycle now)
             cfg_.enableBuffer ? bufferFind(tu, cursor, &pos) : nullptr;
 
         if (entry) {
-            ++stats_.counter("buffer_hits");
+            ++bufferHitsCtr_;
         } else {
+            // One hash serves the allocation check, the store lookup,
+            // and the sampled-set test (previously three mix64 calls).
+            const StreamStore::Ref ref = store_->refOf(cursor);
             // Filtered indexing: an unallocated home set means the entry
             // cannot exist -- known from the index alone, no LLC read.
-            if (!store_->allocated(store_->indexOf(cursor))) {
-                ++stats_.counter("filtered_lookups_skipped");
-                ++stats_.counter("missed_triggers");
+            if (!store_->allocated(ref.set)) {
+                ++filteredSkippedCtr_;
+                ++missedTriggersCtr_;
                 break;
             }
             // Metadata read from the LLC partition (§IV-E7 step 3).
             t = cfg_.ideal ? t + llc_->latency()
                            : llc_->metadataAccess(false, t);
             ++tu.epochInsertions;
-            auto fetched = store_->lookup(cursor);
+            auto fetched = store_->lookupAt(ref, cursor);
             if (!fetched) {
-                ++stats_.counter("missed_triggers");
+                ++missedTriggersCtr_;
                 break;
             }
-            if (store_->sampledSet(store_->indexOf(cursor)))
+            if (store_->sampledSet(ref.set))
                 uadp_->onSampledCorrelationHit();
             bufferInsert(tu, *fetched);
             // Locate the fetched entry in the buffer (bufferInsert may
@@ -341,7 +352,7 @@ StreamlinePrefetcher::issuePrefetches(TuEntry& tu, Addr block, Cycle now)
             break; // no forward progress possible
     }
 
-    stats_.counter("degree_issued") += issued;
+    degreeIssuedCtr_ += issued;
 }
 
 void

@@ -170,6 +170,14 @@ class StreamlinePrefetcher : public Prefetcher, public PartitionPolicy
     std::optional<StreamStore> store_;
     std::optional<UtilityPartitioner> uadp_;
     std::vector<TuEntry> tu_;
+    // Per-miss-path counters; lazily registered so stat snapshots (and
+    // the determinism digests over them) are unchanged by the hoist.
+    HotCounter trainEventsCtr_{stats_, "train_events"};
+    HotCounter usefulFeedbackCtr_{stats_, "useful_feedback"};
+    HotCounter bufferHitsCtr_{stats_, "buffer_hits"};
+    HotCounter degreeIssuedCtr_{stats_, "degree_issued"};
+    HotCounter missedTriggersCtr_{stats_, "missed_triggers"};
+    HotCounter filteredSkippedCtr_{stats_, "filtered_lookups_skipped"};
 };
 
 } // namespace sl

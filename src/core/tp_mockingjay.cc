@@ -9,6 +9,11 @@ namespace sl
 
 TpMockingjay::TpMockingjay(std::uint32_t sets, unsigned sampled_sets)
     : sets_(sets), sampledSets_(sampled_sets),
+      sampleStride_(std::max<std::uint32_t>(1, sets / sampled_sets)),
+      stridePow2_((sampleStride_ & (sampleStride_ - 1)) == 0),
+      strideMask_(sampleStride_ - 1),
+      setsPow2_(sets != 0 && (sets & (sets - 1)) == 0),
+      setsMask_(sets - 1),
       sampler_(static_cast<std::size_t>(sampled_sets) *
                kSamplerSetsPerSampled * kSamplerWays),
       samplerClock_(sampled_sets, 0), rdp_(256, kMaxEtr / 2),
@@ -19,11 +24,11 @@ TpMockingjay::TpMockingjay(std::uint32_t sets, unsigned sampled_sets)
 void
 TpMockingjay::sample(std::uint32_t set, Addr trigger, Addr target, PC pc)
 {
-    const std::uint32_t stride = std::max<std::uint32_t>(
-        1, sets_ / sampledSets_);
-    if (set % stride != 0)
+    // Gate first, hash after: non-sampled sets (the vast majority) pay
+    // one precomputed mask/modulo and nothing else.
+    if (stridePow2_ ? (set & strideMask_) != 0 : set % sampleStride_ != 0)
         return;
-    const unsigned sidx = (set / stride) % sampledSets_;
+    const unsigned sidx = (set / sampleStride_) % sampledSets_;
 
     const std::uint8_t trig_h = hash8(trigger);
     const std::uint8_t tgt_h = hash8(target);
@@ -69,11 +74,11 @@ TpMockingjay::sample(std::uint32_t set, Addr trigger, Addr target, PC pc)
             const int target_etr = std::min<int>(kMaxEtr - 1, dist / 32);
             // Converge quickly: observed reuse is strong evidence.
             pred = static_cast<std::int8_t>((pred + target_etr) / 2);
-            ++stats_.counter("reuse_hits");
+            ++reuseHitsCtr_;
         } else {
             pred = static_cast<std::int8_t>(
                 std::min<int>(kMaxEtr, pred + 2));
-            ++stats_.counter("correlation_changed");
+            ++correlationChangedCtr_;
         }
         found->targetHash = tgt_h;
         found->pcHash = pc_h;
@@ -85,7 +90,7 @@ TpMockingjay::sample(std::uint32_t set, Addr trigger, Addr target, PC pc)
     if (victim->valid) {
         auto& pred = rdp_[victim->pcHash];
         pred = static_cast<std::int8_t>(std::min<int>(kMaxEtr, pred + 1));
-        ++stats_.counter("sampler_evictions");
+        ++samplerEvictionsCtr_;
     }
     *victim = SamplerEntry{true, trig_h, tgt_h, pc_h, clock};
 }
@@ -102,7 +107,7 @@ TpMockingjay::tickSet(std::uint32_t set)
     // Clock granularity matches the sampler's distance scale: kMaxEtr
     // ticks of 32 accesses give a ~224-access horizon before an entry
     // counts as overdue.
-    auto& c = setClock_[set % sets_];
+    auto& c = setClock_[setsPow2_ ? (set & setsMask_) : set % sets_];
     if (++c >= 32) {
         c = 0;
         return true;

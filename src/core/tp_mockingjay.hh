@@ -67,6 +67,11 @@ class TpMockingjay
 
     std::uint32_t sets_;
     unsigned sampledSets_;
+    std::uint32_t sampleStride_;   //!< max(1, sets / sampledSets)
+    bool stridePow2_;
+    std::uint32_t strideMask_;     //!< sampleStride_ - 1 when stridePow2_
+    bool setsPow2_;
+    std::uint32_t setsMask_;       //!< sets - 1 when setsPow2_
     /** sampler_[sampled_idx][set][way] flattened. */
     std::vector<SamplerEntry> sampler_;
     std::vector<std::uint8_t> samplerClock_;
@@ -74,6 +79,10 @@ class TpMockingjay
     std::vector<std::int8_t> rdp_;
     std::vector<std::uint8_t> setClock_;
     StatGroup stats_;
+    // Sample-path counters resolved once (the group is internal-only).
+    Counter& reuseHitsCtr_{stats_.counter("reuse_hits")};
+    Counter& correlationChangedCtr_{stats_.counter("correlation_changed")};
+    Counter& samplerEvictionsCtr_{stats_.counter("sampler_evictions")};
 };
 
 } // namespace sl

@@ -36,18 +36,24 @@ class LruStackSampler
     LruStackSampler(std::uint32_t sampled_sets, std::uint32_t total_sets,
                     unsigned max_depth)
         : sampledSets_(sampled_sets), totalSets_(total_sets),
-          maxDepth_(max_depth), stacks_(sampled_sets),
-          histogram_(max_depth + 1, 0)
+          stride_(total_sets / sampled_sets),
+          stridePow2_(stride_ != 0 && (stride_ & (stride_ - 1)) == 0),
+          strideMask_(stride_ - 1), maxDepth_(max_depth),
+          stacks_(sampled_sets), histogram_(max_depth + 1, 0)
     {
+        // +1: access() inserts at the head before trimming the tail, so
+        // the stack transiently holds maxDepth + 1 keys; reserving the
+        // peak keeps the per-access path reallocation-free.
         for (auto& s : stacks_)
-            s.reserve(max_depth);
+            s.reserve(max_depth + 1);
     }
 
     /** True when @p set falls in the sampled subset. */
     bool
     sampled(std::uint32_t set) const
     {
-        return set % (totalSets_ / sampledSets_) == 0;
+        return stridePow2_ ? (set & strideMask_) == 0
+                           : set % stride_ == 0;
     }
 
     /**
@@ -60,8 +66,7 @@ class LruStackSampler
     {
         if (!sampled(set))
             return maxDepth_;
-        auto& stack = stacks_[(set / (totalSets_ / sampledSets_)) %
-                              sampledSets_];
+        auto& stack = stacks_[(set / stride_) % sampledSets_];
         unsigned depth = maxDepth_;
         for (unsigned i = 0; i < stack.size(); ++i) {
             if (stack[i] == key) {
@@ -111,6 +116,9 @@ class LruStackSampler
   private:
     std::uint32_t sampledSets_;
     std::uint32_t totalSets_;
+    std::uint32_t stride_;  //!< totalSets / sampledSets, computed once
+    bool stridePow2_;
+    std::uint32_t strideMask_;
     unsigned maxDepth_;
     std::vector<std::vector<std::uint64_t>> stacks_;
     std::vector<std::uint64_t> histogram_;

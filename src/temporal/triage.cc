@@ -45,7 +45,7 @@ TriagePrefetcher::onAccess(const AccessInfo& info)
         return;
 
     const Addr block = blockNumber(info.addr);
-    ++stats_.counter("train_events");
+    ++trainEventsCtr_;
 
     if (!cfg_.unlimited) {
         // Feed the partition-sizing samplers: data reuse (LLC stack
@@ -107,14 +107,14 @@ TriagePrefetcher::issueChain(Addr block, PC pc, Cycle now)
                 const std::uint64_t lut_region =
                     lut_.regions[lut_.index(region)];
                 if (lut_region != region) {
-                    ++stats_.counter("lut_misdecompress");
+                    ++lutMisdecompressCtr_;
                     target = (lut_region << 11) | (*target & 0x7ff);
                 }
             }
         }
         if (!target)
             break;
-        ++stats_.counter("chain_prefetches");
+        ++chainPrefetchesCtr_;
         prefetch(*target << kBlockShift, pc, t);
         cur = *target;
     }

@@ -123,6 +123,12 @@ class TriagePrefetcher : public Prefetcher, public PartitionPolicy
     std::optional<LruStackSampler> dataSampler_;
     std::uint64_t accessesSinceResize_ = 0;
     unsigned currentWays_ = 0;
+
+    // Per-miss-path counters; lazily registered so stat snapshots (and
+    // the determinism digests over them) are unchanged by the hoist.
+    HotCounter trainEventsCtr_{stats_, "train_events"};
+    HotCounter chainPrefetchesCtr_{stats_, "chain_prefetches"};
+    HotCounter lutMisdecompressCtr_{stats_, "lut_misdecompress"};
 };
 
 } // namespace sl

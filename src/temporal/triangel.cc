@@ -74,7 +74,9 @@ TriangelPrefetcher::trainConfidence(TuEntry& tu, Addr trigger, Addr target)
 
     // Check the HS for this trigger: a matching echo trains pattern
     // confidence; a mismatch gets a second chance (reordering leeway).
-    HsEntry& h = hs_[mix64(trigger) % hs_.size()];
+    // The HS index is reused for the sampled insert below.
+    const std::size_t hs_idx = mix64(trigger) % hs_.size();
+    HsEntry& h = hs_[hs_idx];
     if (h.valid && h.trigger == trigger && h.pc == tu.pc) {
         // Reuse observed before eviction.
         ++windowHsHits_;
@@ -101,7 +103,7 @@ TriangelPrefetcher::trainConfidence(TuEntry& tu, Addr trigger, Addr target)
 
     if (sample) {
         ++windowHsInserts_;
-        HsEntry& slot = hs_[mix64(trigger) % hs_.size()];
+        HsEntry& slot = hs_[hs_idx];
         if (slot.valid) {
             // Evicted without being reused: reuse confidence decays.
             TuEntry& victim_tu = tuFor(slot.pc);
@@ -163,10 +165,10 @@ TriangelPrefetcher::onAccess(const AccessInfo& info)
     if (info.hit && !info.prefetchHit)
         return;
     if (info.prefetchHit)
-        ++stats_.counter("useful_feedback");
+        ++usefulFeedbackCtr_;
 
     const Addr block = blockNumber(info.addr);
-    ++stats_.counter("train_events");
+    ++trainEventsCtr_;
     TuEntry& tu = tuFor(info.pc);
 
     if (!cfg_.ideal) {
@@ -193,10 +195,10 @@ TriangelPrefetcher::onAccess(const AccessInfo& info)
                     llc_->metadataAccess(true, info.cycle);
                 mrbInsert(trigger, block);
             } else {
-                ++stats_.counter("mrb_write_skips");
+                ++mrbWriteSkipsCtr_;
             }
         } else {
-            ++stats_.counter("filtered_inserts");
+            ++filteredInsertsCtr_;
         }
     }
     tu.secondLast = tu.last;
@@ -211,7 +213,7 @@ TriangelPrefetcher::onAccess(const AccessInfo& info)
     for (unsigned d = 0; d < degree; ++d) {
         std::optional<Addr> target = mrbLookup(cur);
         if (target) {
-            ++stats_.counter("mrb_hits");
+            ++mrbHitsCtr_;
         } else {
             target = store_->lookup(cur);
             if (!cfg_.ideal)

@@ -161,6 +161,14 @@ class TriangelPrefetcher : public Prefetcher, public PartitionPolicy
     std::uint64_t windowEvents_ = 0;
     std::uint64_t windowHsHits_ = 0;
     std::uint64_t windowHsInserts_ = 0;
+
+    // Per-miss-path counters; lazily registered so stat snapshots (and
+    // the determinism digests over them) are unchanged by the hoist.
+    HotCounter trainEventsCtr_{stats_, "train_events"};
+    HotCounter usefulFeedbackCtr_{stats_, "useful_feedback"};
+    HotCounter mrbHitsCtr_{stats_, "mrb_hits"};
+    HotCounter mrbWriteSkipsCtr_{stats_, "mrb_write_skips"};
+    HotCounter filteredInsertsCtr_{stats_, "filtered_inserts"};
 };
 
 } // namespace sl
