@@ -13,6 +13,7 @@ Cache::Cache(const CacheParams& params, EventQueue& eq, MemLevel* next,
               ? 0
               : params.sizeBytes / kBlockBytes / params.ways)),
       blocks_(static_cast<std::size_t>(numSets_) * params.ways),
+      tags_(static_cast<std::size_t>(numSets_) * params.ways, kNoTag),
       mshrs_(params.mshrs == 0 ? 1 : params.mshrs),
       stats_(params.name)
 {
@@ -46,11 +47,12 @@ Cache::Block*
 Cache::findBlock(Addr addr)
 {
     const Addr tag = blockNumber(addr);
-    Block* row = &blocks_[static_cast<std::size_t>(setIndex(addr)) *
-                          params_.ways];
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(addr)) * params_.ways;
+    const Addr* row = &tags_[base];
     for (unsigned w = 0; w < params_.ways; ++w) {
-        if (row[w].valid && row[w].tag == tag)
-            return &row[w];
+        if (row[w] == tag)
+            return &blocks_[base + w];
     }
     return nullptr;
 }
@@ -322,6 +324,7 @@ Cache::installFill(Addr addr, bool prefetched, bool origin_here,
     victim->prefetchOriginHere = prefetched && origin_here;
     victim->tag = blockNumber(addr);
     victim->lru = ++lruTick_;
+    tags_[static_cast<std::size_t>(victim - blocks_.data())] = victim->tag;
 }
 
 void
@@ -395,11 +398,20 @@ Cache::audit(Cycle now) const
                         "MSHR waiter does not match its block");
     });
     for (std::uint32_t set = 0; set < numSets_; ++set) {
-        const Block* row =
-            &blocks_[static_cast<std::size_t>(set) * params_.ways];
+        const std::size_t base =
+            static_cast<std::size_t>(set) * params_.ways;
+        const Block* row = &blocks_[base];
         for (unsigned w = 0; w < params_.ways; ++w) {
-            if (!row[w].valid)
+            if (!row[w].valid) {
+                SL_CHECK_AT(tags_[base + w] == kNoTag, comp, now,
+                            "tag mirror holds a stale tag for an invalid "
+                            "way in set " << set);
                 continue;
+            }
+            SL_CHECK_AT(tags_[base + w] == row[w].tag, comp, now,
+                        "tag mirror disagrees with block tag 0x"
+                            << std::hex << row[w].tag << std::dec
+                            << " in set " << set);
             SL_CHECK_AT(setIndex(row[w].tag << kBlockShift) == set, comp,
                         now,
                         "block tag 0x" << std::hex << row[w].tag
@@ -430,6 +442,7 @@ Cache::reclaimReservedWays(std::uint32_t set, Cycle now)
             next_->access(wb, now);
         }
         row[w].valid = false;
+        tags_[static_cast<std::size_t>(set) * params_.ways + w] = kNoTag;
     }
 }
 

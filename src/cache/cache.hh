@@ -201,8 +201,17 @@ class Cache : public MemLevel, public RequestClient
      *  mshrs_.size() whenever the event queue is drained. */
     std::size_t outstandingDownstream_ = 0;
 
+    /** Sentinel tag for invalid ways in tags_ (never a real tag: block
+     *  numbers are addresses >> 6, far below 2^64). */
+    static constexpr Addr kNoTag = ~Addr{0};
+
     std::uint32_t numSets_;
     std::vector<Block> blocks_; //!< numSets_ * ways, row-major
+    /** Tag mirror of blocks_ driving the hit scan: tags_[i] is
+     *  blocks_[i].tag when valid, kNoTag otherwise. Probing 8-byte tags
+     *  touches a third of the memory a Block-row scan does — and misses
+     *  (the common case under an MSHR retry storm) scan every way. */
+    std::vector<Addr> tags_;
     std::uint64_t lruTick_ = 0;
 
     MshrTable mshrs_; //!< keyed by block address; capacity = MSHR limit

@@ -13,6 +13,7 @@
 #define SL_COMMON_EVENT_HH
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <new>
@@ -32,13 +33,14 @@ constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
 /**
  * Fixed-capacity, trivially-copyable callable for scheduled events.
  *
- * Heap maintenance moves each event O(log n) times, and std::function
- * routes every one of those moves through its type-erasure manager (or
- * the heap, for captures past its 16-byte buffer). Restricting event
- * callbacks to trivially-copyable captures of at most kCaptureBytes
- * makes an Event plain old data: sifts are straight memcpy and
- * scheduling never allocates. Callbacks receive the cycle they fire at,
- * so hot-path lambdas need not capture it.
+ * The queue copies callbacks into buckets and (for far-future events)
+ * sifts them through a heap, and std::function would route every one of
+ * those moves through its type-erasure manager (or the allocator, for
+ * captures past its 16-byte buffer). Restricting event callbacks to
+ * trivially-copyable captures of at most kCaptureBytes makes them plain
+ * old data: copies are straight memcpy and scheduling never allocates.
+ * Callbacks receive the cycle they fire at, so hot-path lambdas need
+ * not capture it.
  */
 class EventCallback
 {
@@ -75,13 +77,29 @@ class EventCallback
     void (*invoke_)(void*, Cycle) = nullptr;
 };
 
-/** Min-heap of (cycle, callback) pairs with stable FIFO order per cycle. */
+/**
+ * Calendar queue with stable FIFO order per cycle.
+ *
+ * A ring of per-cycle FIFO buckets covers the window
+ * [now, now + kHorizon); events beyond the window wait in a small
+ * (when, seq) min-heap and are admitted as the window advances.
+ * Schedule and extract are O(1) appends/pops instead of O(log n) heap
+ * sifts, which matters under load: an MSHR-full retry storm keeps
+ * thousands of short-range (+4 cycle) events in flight, and every one
+ * of them would otherwise sift the heap twice.
+ *
+ * Ordering is identical to a (when, seq) min-heap. Within a bucket,
+ * FIFO append order is global schedule order: far events for a cycle
+ * are admitted — in their own (when, seq) order — at the instant the
+ * cycle enters the window, which is before any direct schedule can
+ * target it (direct schedules require the cycle to be in-window).
+ */
 class EventQueue
 {
   public:
     using Callback = EventCallback;
 
-    EventQueue() { heap_.reserve(kInitialCapacity); }
+    EventQueue() : buckets_(kHorizon) {}
 
     /**
      * Schedule @p cb to run at cycle @p when. @p when must not precede
@@ -92,20 +110,29 @@ class EventQueue
     {
         SL_CHECK_AT(when >= now_, "event_queue", now_,
                     "event scheduled into the past (when=" << when << ")");
-        heap_.push_back(Event{when, seq_++, std::move(cb)});
-        std::push_heap(heap_.begin(), heap_.end(), Later{});
+        if (when - now_ < kHorizon) {
+            pushNear(when, cb);
+        } else {
+            far_.push_back(Far{when, seq_++, cb});
+            std::push_heap(far_.begin(), far_.end(), Later{});
+        }
     }
 
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return nearCount_ == 0 && far_.empty(); }
 
     /** Pending events (diagnostic snapshots). */
-    std::size_t size() const { return heap_.size(); }
+    std::size_t size() const { return nearCount_ + far_.size(); }
 
     /** Cycle of the earliest pending event, or kNoCycle. */
     Cycle
     nextCycle() const
     {
-        return heap_.empty() ? kNoCycle : heap_.front().when;
+        // Far events lie beyond the window, so nextAt_ wins whenever
+        // any bucket is nonempty.
+        Cycle next = nextAt_;
+        if (!far_.empty() && far_.front().when < next)
+            next = far_.front().when;
+        return next;
     }
 
     /** Latest cycle runUntil has drained up to. */
@@ -120,36 +147,43 @@ class EventQueue
     void
     reset()
     {
-        SL_CHECK(heap_.empty(), "event_queue",
-                 "reset with " << heap_.size() << " events still pending");
+        SL_CHECK(empty(), "event_queue",
+                 "reset with " << size() << " events still pending");
         now_ = 0;
         seq_ = 0;
+        nextAt_ = kNoCycle;
     }
 
     /** Run every event scheduled at or before @p now. */
     void
     runUntil(Cycle now)
     {
-        while (!heap_.empty() && heap_.front().when <= now) {
-            // Extract the event before running it so the callback can
-            // reschedule (including at the same cycle).
-            std::pop_heap(heap_.begin(), heap_.end(), Later{});
-            Event ev = std::move(heap_.back());
-            heap_.pop_back();
-            if (ev.when > now_)
-                now_ = ev.when;
-            ev.cb(ev.when);
+        while (true) {
+            const Cycle next = nextCycle();
+            if (next > now)
+                break;
+            if (next > now_) {
+                now_ = next;
+                admitFar();
+            }
+            drainBucket(next);
         }
-        if (now > now_)
+        if (now > now_) {
             now_ = now;
+            admitFar();
+        }
     }
 
   private:
-    /** Pre-reserved heap storage: enough for a deep multicore burst
-     *  without growing mid-run. */
-    static constexpr std::size_t kInitialCapacity = 1024;
+    /** Window span in cycles (power of two). Covers every short-range
+     *  schedule (cache latencies, retry backoff, typical DRAM service);
+     *  only deeply queued DRAM banks spill into the far heap. */
+    static constexpr std::size_t kHorizon = 2048;
+    static constexpr std::size_t kMask = kHorizon - 1;
+    static constexpr std::size_t kWords = kHorizon / 64;
 
-    struct Event
+    /** Beyond-window event; seq keeps admission stable per cycle. */
+    struct Far
     {
         Cycle when;
         std::uint64_t seq;
@@ -160,13 +194,87 @@ class EventQueue
     struct Later
     {
         bool
-        operator()(const Event& a, const Event& b) const
+        operator()(const Far& a, const Far& b) const
         {
             return a.when != b.when ? a.when > b.when : a.seq > b.seq;
         }
     };
 
-    std::vector<Event> heap_;
+    void
+    pushNear(Cycle when, const Callback& cb)
+    {
+        const std::size_t idx = static_cast<std::size_t>(when) & kMask;
+        buckets_[idx].push_back(cb);
+        occ_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+        ++nearCount_;
+        if (when < nextAt_)
+            nextAt_ = when;
+    }
+
+    /** Move far events whose cycle entered the window into buckets. */
+    void
+    admitFar()
+    {
+        while (!far_.empty() && far_.front().when - now_ < kHorizon) {
+            std::pop_heap(far_.begin(), far_.end(), Later{});
+            const Far f = far_.back();
+            far_.pop_back();
+            pushNear(f.when, f.cb);
+        }
+    }
+
+    /** Run every event in cycle @p c's bucket, in FIFO order. Callbacks
+     *  may append to the bucket being drained (same-cycle reschedule),
+     *  so iterate by index and copy each callback out first. */
+    void
+    drainBucket(Cycle c)
+    {
+        const std::size_t idx = static_cast<std::size_t>(c) & kMask;
+        auto& b = buckets_[idx];
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            Callback cb = b[i];
+            cb(c);
+        }
+        nearCount_ -= b.size();
+        b.clear(); // keeps capacity: steady-state drains never allocate
+        occ_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+        nextAt_ = scanNext();
+    }
+
+    /** Earliest nonempty bucket cycle, or kNoCycle. O(kWords) bitmap
+     *  scan, paid once per drained bucket rather than per query. */
+    Cycle
+    scanNext() const
+    {
+        if (nearCount_ == 0)
+            return kNoCycle;
+        const std::size_t start = static_cast<std::size_t>(now_) & kMask;
+        std::size_t wi = start >> 6;
+        std::uint64_t w = occ_[wi] & (~std::uint64_t{0} << (start & 63));
+        for (std::size_t step = 0;; ++step) {
+            if (w != 0) {
+                const std::size_t idx =
+                    (wi << 6) +
+                    static_cast<std::size_t>(std::countr_zero(w));
+                return now_ + ((idx - start) & kMask);
+            }
+            SL_CHECK(step <= kWords, "event_queue",
+                     "occupancy bitmap lost " << nearCount_ << " events");
+            wi = (wi + 1) & (kWords - 1);
+            w = occ_[wi];
+        }
+    }
+
+    /** FIFO bucket ring: bucket i holds the in-window cycle c with
+     *  (c & kMask) == i. */
+    std::vector<std::vector<Callback>> buckets_;
+    /** One bit per bucket: nonempty. */
+    std::uint64_t occ_[kWords] = {};
+    /** Events scheduled past the window, admitted as now_ advances. */
+    std::vector<Far> far_;
+    std::size_t nearCount_ = 0;
+    /** Exact earliest bucket cycle (kNoCycle when buckets are empty). */
+    Cycle nextAt_ = kNoCycle;
     std::uint64_t seq_ = 0;
     Cycle now_ = 0;
 };

@@ -88,20 +88,23 @@ Dram::access(MemRequest* req, Cycle now)
         (in_channel / kBlocksPerRow / nbanks) % params_.rowsPerBank);
 
     const bool write = req->kind == ReqKind::Writeback;
-    ++stats_.counter(write ? "writes" : "reads");
+    if (write)
+        ++writesCtr_;
+    else
+        ++readsCtr_;
 
     // Bank access latency depends on row-buffer state.
     Cycle bank_start = std::max(now, bank.readyAt);
     Cycle access_lat;
     if (bank.rowValid && bank.openRow == row) {
         access_lat = tCas_;
-        ++stats_.counter("row_hits");
+        ++rowHitsCtr_;
     } else if (!bank.rowValid) {
         access_lat = tRcd_ + tCas_;
-        ++stats_.counter("row_misses");
+        ++rowMissesCtr_;
     } else {
         access_lat = tRp_ + tRcd_ + tCas_;
-        ++stats_.counter("row_conflicts");
+        ++rowConflictsCtr_;
     }
     bank.rowValid = true;
     bank.openRow = row;
@@ -112,7 +115,7 @@ Dram::access(MemRequest* req, Cycle now)
     busFreeAt_[ch_idx] = burst_start + burstCycles_;
     bank.readyAt = burst_start + burstCycles_;
 
-    stats_.counter("bytes") += kBlockBytes;
+    bytesCtr_ += kBlockBytes;
 
     Cycle done = burst_start + burstCycles_ + controllerCycles_;
     if (faults_)

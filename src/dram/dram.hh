@@ -91,6 +91,15 @@ class Dram : public MemLevel
     unsigned banksPerChannel_ = 0;
     Cycle tCas_, tRcd_, tRp_, burstCycles_, controllerCycles_;
     StatGroup stats_;
+
+    /** Per-access counters; lazily registered (HotCounter) so counters
+     *  that never fire stay out of serialized stat snapshots. */
+    HotCounter readsCtr_{stats_, "reads"};
+    HotCounter writesCtr_{stats_, "writes"};
+    HotCounter rowHitsCtr_{stats_, "row_hits"};
+    HotCounter rowMissesCtr_{stats_, "row_misses"};
+    HotCounter rowConflictsCtr_{stats_, "row_conflicts"};
+    HotCounter bytesCtr_{stats_, "bytes"};
 };
 
 } // namespace sl
