@@ -54,10 +54,12 @@ reps()
 }
 
 /** One timed single-core run; the System is rebuilt every repetition so
- *  each measurement pays the same cold-structure costs. */
+ *  each measurement pays the same cold-structure costs. @p telemetry
+ *  (optional) instruments the run — used by the overhead probe below. */
 Cell
 timeCell(const std::string& config, const std::string& l2,
-         const std::string& workload, double scale, unsigned repetitions)
+         const std::string& workload, double scale, unsigned repetitions,
+         const TelemetryConfig* telemetry = nullptr)
 {
     PrefetcherRegistry& reg = prefetcherRegistry();
     const PrefetcherTuning tuning; // registry defaults for every family
@@ -71,6 +73,8 @@ timeCell(const std::string& config, const std::string& l2,
         sc.l1dPrefetcher =
             reg.make("stride", PrefetcherRegistry::L1, tuning);
         sc.l2Prefetcher = reg.make(l2, PrefetcherRegistry::L2, tuning);
+        if (telemetry)
+            sc.telemetry = *telemetry;
 
         System sys(sc, {trace});
         const auto t0 = std::chrono::steady_clock::now();
@@ -141,6 +145,7 @@ main()
                 "workload", "sim_Mcycles", "retired_Mi", "wall_s",
                 "kcycles/s", "MIPS", "meta_ops/s");
 
+    Cell telemetry_off; // streamline/spec06_mcf, reused by the probe below
     for (const auto& [name, l2] : configs) {
         std::uint64_t cfg_cycles = 0;
         std::uint64_t cfg_retired = 0;
@@ -148,6 +153,8 @@ main()
         double cfg_wall = 0;
         for (const auto& w : workloads) {
             const Cell c = timeCell(name, l2, w, scale, repetitions);
+            if (name == "streamline" && w == "spec06_mcf")
+                telemetry_off = c;
             std::printf("%-12s %-15s %12.1f %12.1f %10.3f %12.0f %10.1f "
                         "%12.0f\n",
                         c.config.c_str(), c.workload.c_str(),
@@ -190,5 +197,29 @@ main()
             ",\"metadata_ops_per_sec\":" +
             sl::jsonNumber(mops(cfg_meta, cfg_wall)) + "}");
     }
+
+    // Telemetry overhead probe: the streamline/spec06_mcf cell again with
+    // interval sampling + histograms enabled (no output files), against
+    // the telemetry-off measurement from the matrix above. The disabled
+    // path itself is guarded separately: check.sh's simspeed stage fails
+    // any matrix cell below 0.98x the recorded telemetry-free baseline.
+    sl::TelemetryConfig tcfg;
+    tcfg.enabled = true;
+    const Cell on = timeCell("streamline+telemetry", "streamline",
+                             "spec06_mcf", scale, repetitions, &tcfg);
+    const double off_kcps = kcps(telemetry_off);
+    const double on_kcps = kcps(on);
+    const double overhead_pct =
+        off_kcps > 0 ? 100.0 * (1.0 - on_kcps / off_kcps) : 0;
+    std::printf("telemetry enabled vs disabled (streamline/spec06_mcf): "
+                "%.0f vs %.0f kcycles/s (%.1f%% overhead)\n",
+                on_kcps, off_kcps, overhead_pct);
+    JsonReport::instance().note(
+        "{\"kind\":\"simspeed_telemetry\",\"config\":\"streamline\""
+        ",\"workload\":\"spec06_mcf\"" +
+        std::string(",\"off_kcycles_per_sec\":") +
+        sl::jsonNumber(off_kcps) +
+        ",\"on_kcycles_per_sec\":" + sl::jsonNumber(on_kcps) +
+        ",\"enabled_overhead_pct\":" + sl::jsonNumber(overhead_pct) + "}");
     return 0;
 }

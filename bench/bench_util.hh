@@ -145,14 +145,58 @@ class JsonReport
 };
 
 /**
+ * Telemetry knobs from the environment: SL_TELEMETRY=1 enables interval
+ * sampling, SL_TELEMETRY_INTERVAL overrides the sample period (and
+ * implies enablement), and SL_TELEMETRY_OUT=prefix additionally writes
+ * prefix.jsonl / prefix.csv / prefix.trace.json (BatchRunner rewrites
+ * the paths per job, so sweeps get one file set per job).
+ */
+inline TelemetryConfig
+telemetryFromEnv()
+{
+    TelemetryConfig t;
+    if (const char* env = std::getenv("SL_TELEMETRY"))
+        t.enabled = std::atoi(env) != 0;
+    if (const char* env = std::getenv("SL_TELEMETRY_INTERVAL")) {
+        const long long v = std::atoll(env);
+        if (v > 0) {
+            t.intervalCycles = static_cast<Cycle>(v);
+            t.enabled = true;
+        }
+    }
+    if (const char* env = std::getenv("SL_TELEMETRY_OUT")) {
+        if (const std::string prefix = env; !prefix.empty()) {
+            t.jsonlPath = prefix + ".jsonl";
+            t.csvPath = prefix + ".csv";
+            t.tracePath = prefix + ".trace.json";
+            t.enabled = true;
+        }
+    }
+    return t;
+}
+
+/**
  * Run @p specs through the process-wide BatchRunner, record them in the
  * JSON report, and fail loudly on the first failed job (its repro
- * bundle is written first, matching runWorkloads's behaviour).
+ * bundle is written first, matching runWorkloads's behaviour). Specs
+ * without their own telemetry config inherit the SL_TELEMETRY* env
+ * knobs, so any bench can be run instrumented without code changes.
  */
 inline std::vector<JobResult>
-runBatch(const std::vector<ExperimentSpec>& specs)
+runBatch(const std::vector<ExperimentSpec>& specs_in)
 {
     static BatchRunner runner;
+    static const TelemetryConfig env_tele = telemetryFromEnv();
+    const std::vector<ExperimentSpec>* use = &specs_in;
+    std::vector<ExperimentSpec> owned;
+    if (env_tele.enabled) {
+        owned = specs_in;
+        for (auto& s : owned)
+            if (!s.config.telemetry.enabled)
+                s.config.telemetry = env_tele;
+        use = &owned;
+    }
+    const std::vector<ExperimentSpec>& specs = *use;
     auto results = runner.run(specs);
     JsonReport::instance().record(specs, results);
     for (const auto& jr : results) {

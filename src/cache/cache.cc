@@ -1,5 +1,7 @@
 #include "cache/cache.hh"
 
+#include "telemetry/telemetry.hh"
+
 namespace sl
 {
 
@@ -141,6 +143,9 @@ Cache::handleAt(MemRequest* req, Cycle start)
                 if (b->prefetchOriginHere)
                     ++ctr_.prefetchUseful;
                 info.prefetchHit = true;
+                if (tele_)
+                    tele_->fillToDemand.record(
+                        start > b->fillAt ? start - b->fillAt : 0);
             }
             if (req->kind == ReqKind::DemandStore)
                 b->dirty = true;
@@ -231,6 +236,10 @@ Cache::handleAt(MemRequest* req, Cycle start)
         // controller). The MSHR stays allocated with nothing in flight —
         // exactly the state the auditor and watchdog exist to catch.
         disposeRequest(down);
+        if (tele_)
+            tele_->incident("request_lost", start,
+                            params_.name + " dropped a downstream miss "
+                                           "request (injected fault)");
         return;
     }
     ++outstandingDownstream_;
@@ -271,9 +280,13 @@ Cache::requestDone(const MemRequest& req, Cycle now)
     // clients) still get their responses so no state leaks.
     const bool drop_fill = mark_prefetched && faults_ &&
                            faults_->dropPrefetchFill();
-    if (drop_fill)
+    if (drop_fill) {
         ++stats_.counter("prefetch_fills_dropped");
-    else
+        if (tele_)
+            tele_->incident("prefetch_fill_dropped", now,
+                            params_.name + " lost a prefetch fill "
+                                           "(injected fault)");
+    } else
         installFill(req.addr, mark_prefetched, origin_here, store, now);
     if (prefetch_only && demand_merged && origin_here) {
         // The prefetch fetched data a demand wanted before arrival.
@@ -324,6 +337,7 @@ Cache::installFill(Addr addr, bool prefetched, bool origin_here,
     victim->prefetchOriginHere = prefetched && origin_here;
     victim->tag = blockNumber(addr);
     victim->lru = ++lruTick_;
+    victim->fillAt = now;
     tags_[static_cast<std::size_t>(victim - blocks_.data())] = victim->tag;
 }
 

@@ -26,6 +26,8 @@
 namespace sl
 {
 
+class Telemetry;
+
 /** Anything that can accept a MemRequest (a cache level or DRAM). */
 class MemLevel
 {
@@ -114,6 +116,9 @@ class Cache : public MemLevel, public RequestClient
     /** Attach the system's fault injector (null = no faults). */
     void setFaultInjector(FaultInjector* f) { faults_ = f; }
 
+    /** Attach the system's telemetry hub (null = probes disabled). */
+    void setTelemetry(Telemetry* t) { tele_ = t; }
+
     /**
      * Issue a prefetch into this cache for @p addr. Dropped when already
      * resident or in flight. @p now may be in the future (scheduled).
@@ -175,6 +180,11 @@ class Cache : public MemLevel, public RequestClient
         bool prefetchOriginHere = false; //!< that prefetch originated here
         Addr tag = 0;
         std::uint64_t lru = 0;
+        /** Install cycle; with telemetry on, the first demand hit on a
+         *  prefetched block reports (now - fillAt) as fill-to-demand
+         *  distance. Maintained unconditionally — one store into a row
+         *  the fill already writes. */
+        Cycle fillAt = 0;
     };
 
     std::uint32_t setIndex(Addr addr) const;
@@ -192,6 +202,7 @@ class Cache : public MemLevel, public RequestClient
     CacheListener* listener_ = nullptr;
     const PartitionPolicy* partition_ = nullptr;
     FaultInjector* faults_ = nullptr;
+    Telemetry* tele_ = nullptr;
 
     /** Private arena backing pool_ when none was passed in. */
     std::unique_ptr<RequestPool> ownPool_;

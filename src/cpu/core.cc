@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "telemetry/telemetry.hh"
+
 namespace sl
 {
 
@@ -93,6 +95,7 @@ Core::tryDispatch(Cycle now)
         e.weight = 1;
         e.isMem = true;
         e.endsRecord = true;
+        e.issuedAt = now;
         e.slotGen = ++slotGen_;
 
         MemRequest* req = pool_->acquire();
@@ -137,8 +140,11 @@ Core::requestDone(const MemRequest& req, Cycle now)
                     << " outside the " << rob_.size() << "-entry ROB");
     RobEntry& e = rob_[slot];
     // Responses can only arrive for live loads (retire waits for them).
-    if (e.slotGen == gen && e.isMem && e.doneAt == kNoCycle)
+    if (e.slotGen == gen && e.isMem && e.doneAt == kNoCycle) {
         e.doneAt = now;
+        if (tele_)
+            tele_->loadToUse.record(now - e.issuedAt);
+    }
 }
 
 void

@@ -29,6 +29,8 @@
 namespace sl
 {
 
+class Telemetry;
+
 /** Core width/window configuration (defaults = Table II, Ice Lake-like). */
 struct CoreParams
 {
@@ -84,6 +86,9 @@ class Core : public RequestClient
     // RequestClient
     void requestDone(const MemRequest& req, Cycle now) override;
 
+    /** Attach the system's telemetry hub (null = probes disabled). */
+    void setTelemetry(Telemetry* t) { tele_ = t; }
+
     /** Total instructions retired since construction (watchdog probe). */
     std::uint64_t retiredInstructions() const { return instrRetired_; }
 
@@ -115,6 +120,7 @@ class Core : public RequestClient
         bool isMem = false;
         bool endsRecord = false;
         Cycle doneAt = kNoCycle;      //!< kNoCycle while a load is in flight
+        Cycle issuedAt = 0;           //!< dispatch cycle (load-to-use probe)
         std::uint64_t slotGen = 0;    //!< matches in-flight request tags
     };
 
@@ -129,6 +135,7 @@ class Core : public RequestClient
     EventQueue& eq_;
     Cache* l1d_;
     TracePtr trace_;
+    Telemetry* tele_ = nullptr;
 
     /** Private arena backing pool_ when none was passed in. */
     std::unique_ptr<RequestPool> ownPool_;

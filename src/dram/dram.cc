@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hh"
+
 namespace sl
 {
 
@@ -118,8 +120,16 @@ Dram::access(MemRequest* req, Cycle now)
     bytesCtr_ += kBlockBytes;
 
     Cycle done = burst_start + burstCycles_ + controllerCycles_;
-    if (faults_)
-        done += faults_->dramDelay(); // injected slow response
+    if (faults_) {
+        const Cycle delay = faults_->dramDelay(); // injected slow response
+        if (delay > 0 && tele_)
+            tele_->incident("dram_delay", now,
+                            "response delayed " + std::to_string(delay) +
+                                " cycles (injected fault)");
+        done += delay;
+    }
+    if (tele_)
+        tele_->dramLatency.record(done - now);
     if (req->client) {
         eq_.schedule(done, [req](Cycle now) {
             req->client->requestDone(*req, now);

@@ -23,6 +23,8 @@
 namespace sl
 {
 
+class Telemetry;
+
 /** DRAM geometry and timing configuration. */
 struct DramParams
 {
@@ -69,6 +71,9 @@ class Dram : public MemLevel
     /** Attach the system's fault injector (null = no faults). */
     void setFaultInjector(FaultInjector* f) { faults_ = f; }
 
+    /** Attach the system's telemetry hub (null = probes disabled). */
+    void setTelemetry(Telemetry* t) { tele_ = t; }
+
     /** Latest cycle any channel bus is busy until (diagnostics). */
     Cycle busyUntil() const;
 
@@ -83,6 +88,7 @@ class Dram : public MemLevel
     DramParams params_;
     EventQueue& eq_;
     FaultInjector* faults_ = nullptr;
+    Telemetry* tele_ = nullptr;
     /** Flat [channel][rank*bank] state: banks_ holds channels * nbanks
      *  entries row-major, busFreeAt_ one slot per channel — one
      *  contiguous lookup each instead of nested vector indirection. */

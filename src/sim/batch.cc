@@ -1,5 +1,6 @@
 #include "sim/batch.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -61,8 +62,34 @@ runOne(const ExperimentSpec& spec)
 } // namespace
 
 std::vector<JobResult>
-BatchRunner::run(const std::vector<ExperimentSpec>& specs) const
+BatchRunner::run(const std::vector<ExperimentSpec>& specs_in) const
 {
+    // Jobs that write telemetry files must not share a path: rewrite
+    // every configured output to its per-job variant when more than one
+    // job wants files. A single job keeps the caller's exact paths.
+    const std::vector<ExperimentSpec>* specs_ptr = &specs_in;
+    std::vector<ExperimentSpec> owned;
+    const bool any_files = specs_in.size() > 1 &&
+                           std::any_of(specs_in.begin(), specs_in.end(),
+                                       [](const ExperimentSpec& s) {
+                                           return s.config.telemetry
+                                               .wantsFiles();
+                                       });
+    if (any_files) {
+        owned = specs_in;
+        for (std::size_t i = 0; i < owned.size(); ++i) {
+            TelemetryConfig& t = owned[i].config.telemetry;
+            if (!t.jsonlPath.empty())
+                t.jsonlPath = perJobPath(t.jsonlPath, i);
+            if (!t.csvPath.empty())
+                t.csvPath = perJobPath(t.csvPath, i);
+            if (!t.tracePath.empty())
+                t.tracePath = perJobPath(t.tracePath, i);
+        }
+        specs_ptr = &owned;
+    }
+    const std::vector<ExperimentSpec>& specs = *specs_ptr;
+
     std::vector<JobResult> results(specs.size());
     if (specs.empty())
         return results;

@@ -1,7 +1,9 @@
 #include "sim/runner.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <iterator>
 #include <map>
 #include <mutex>
@@ -64,6 +66,7 @@ RunConfig::validate() const
                                 "footprint; <= 0 selects the default)");
     faults.validate();
     hardening.validate();
+    telemetry.validate();
     PrefetcherRegistry& reg = prefetcherRegistry();
     reg.require(l1Name(), PrefetcherRegistry::L1);
     reg.require(l2Name(), PrefetcherRegistry::L2);
@@ -146,6 +149,7 @@ runWorkloadsRaw(const RunConfig& cfg,
                                tuning);
     sc.faults = cfg.faults;
     sc.hardening = cfg.hardening;
+    sc.telemetry = cfg.telemetry;
 
     System sys(sc, traces);
     sys.run();
@@ -187,6 +191,11 @@ runWorkloadsRaw(const RunConfig& cfg,
                 res.storeStats[k] = v.value();
         }
         res.storedCorrelations = pf->storedCorrelations();
+    }
+
+    if (Telemetry* t = sys.telemetry()) {
+        t->writeOutputs();
+        res.telemetry = std::make_shared<const TelemetryData>(t->data());
     }
 
     return res;
@@ -262,6 +271,208 @@ irregularSubset(double scale)
     std::lock_guard<std::mutex> lock(mu);
     cache[scale] = subset;
     return subset;
+}
+
+namespace
+{
+
+void
+printUsage(std::ostream& os)
+{
+    os << "usage: sl_run [options] WORKLOAD [WORKLOAD...]\n"
+          "\n"
+          "Runs each workload on its own core (one workload is\n"
+          "replicated across --cores cores).\n"
+          "\n"
+          "options:\n"
+          "  --l1 NAME               L1D prefetcher (default stride)\n"
+          "  --l2 NAME               L2 prefetcher (default none)\n"
+          "  --cores N               core count (default: one per "
+          "workload)\n"
+          "  --scale F               trace scale (default "
+          "$SL_TRACE_SCALE or 1.0)\n"
+          "  --seed N                trace synthesis seed (default 1)\n"
+          "  --dram-mts N            DRAM transfer rate (default 3200)\n"
+          "  --telemetry             enable interval sampling and "
+          "histograms\n"
+          "  --telemetry-interval N  cycles per interval (default "
+          "100000; implies --telemetry)\n"
+          "  --telemetry-out PREFIX  write PREFIX.jsonl and PREFIX.csv "
+          "(implies --telemetry)\n"
+          "  --trace-out PATH        write Chrome trace-event JSON "
+          "(implies --telemetry)\n"
+          "  --list-prefetchers      print registered prefetcher names "
+          "and exit\n"
+          "  --help                  this text\n";
+}
+
+void
+printNames(std::ostream& os, const char* level, int mask)
+{
+    os << level << ":";
+    for (const auto& n : prefetcherRegistry().names(mask))
+        os << " " << n;
+    os << "\n";
+}
+
+/** True when the prefetcher selection is known; complains otherwise. */
+bool
+checkPrefetcher(const std::string& name, int level, const char* flag)
+{
+    if (prefetcherRegistry().has(name, level))
+        return true;
+    std::cerr << "sl_run: unknown " << flag << " prefetcher '" << name
+              << "'; available:\n";
+    printNames(std::cerr, "  l1", PrefetcherRegistry::L1);
+    printNames(std::cerr, "  l2", PrefetcherRegistry::L2);
+    return false;
+}
+
+} // namespace
+
+int
+runnerMain(int argc, char** argv)
+{
+    RunConfig cfg;
+    std::vector<std::string> workloads;
+    unsigned cores = 0; // 0 = one per workload
+    bool telemetry = false;
+    std::string telemetry_out;
+
+    // Flags taking a value read it from the next argv slot.
+    auto value = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+            std::cerr << "sl_run: " << flag << " needs a value\n";
+            return nullptr;
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char* v = nullptr;
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return 0;
+        } else if (arg == "--list-prefetchers") {
+            printNames(std::cout, "l1", PrefetcherRegistry::L1);
+            printNames(std::cout, "l2", PrefetcherRegistry::L2);
+            return 0;
+        } else if (arg == "--l1") {
+            if (!(v = value(i, "--l1")))
+                return 2;
+            cfg.l1 = PfSel(v);
+        } else if (arg == "--l2") {
+            if (!(v = value(i, "--l2")))
+                return 2;
+            cfg.l2 = PfSel(v);
+        } else if (arg == "--cores") {
+            if (!(v = value(i, "--cores")))
+                return 2;
+            cores = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--scale") {
+            if (!(v = value(i, "--scale")))
+                return 2;
+            cfg.traceScale = std::strtod(v, nullptr);
+        } else if (arg == "--seed") {
+            if (!(v = value(i, "--seed")))
+                return 2;
+            cfg.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--dram-mts") {
+            if (!(v = value(i, "--dram-mts")))
+                return 2;
+            cfg.dramMTs =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--telemetry") {
+            telemetry = true;
+        } else if (arg == "--telemetry-interval") {
+            if (!(v = value(i, "--telemetry-interval")))
+                return 2;
+            telemetry = true;
+            cfg.telemetry.intervalCycles = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--telemetry-out") {
+            if (!(v = value(i, "--telemetry-out")))
+                return 2;
+            telemetry = true;
+            telemetry_out = v;
+        } else if (arg == "--trace-out") {
+            if (!(v = value(i, "--trace-out")))
+                return 2;
+            telemetry = true;
+            cfg.telemetry.tracePath = v;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "sl_run: unknown option '" << arg << "'\n";
+            printUsage(std::cerr);
+            return 2;
+        } else {
+            workloads.push_back(arg);
+        }
+    }
+
+    if (workloads.empty()) {
+        std::cerr << "sl_run: no workloads given; known workloads:\n ";
+        for (const auto& w : workloadNames())
+            std::cerr << " " << w;
+        std::cerr << "\n";
+        printUsage(std::cerr);
+        return 2;
+    }
+
+    // Friendly up-front name checks: print the registered names instead
+    // of an exception trace (getTrace throws std::invalid_argument for
+    // unknown workloads, which would otherwise escape main).
+    if (!checkPrefetcher(cfg.l1Name(), PrefetcherRegistry::L1, "--l1") ||
+        !checkPrefetcher(cfg.l2Name(), PrefetcherRegistry::L2, "--l2"))
+        return 2;
+    const std::vector<std::string> known = workloadNames();
+    for (const auto& w : workloads) {
+        if (std::find(known.begin(), known.end(), w) == known.end()) {
+            std::cerr << "sl_run: unknown workload '" << w
+                      << "'; known workloads:\n ";
+            for (const auto& k : known)
+                std::cerr << " " << k;
+            std::cerr << "\n";
+            return 2;
+        }
+    }
+
+    cfg.telemetry.enabled = telemetry;
+    if (!telemetry_out.empty()) {
+        cfg.telemetry.jsonlPath = telemetry_out + ".jsonl";
+        cfg.telemetry.csvPath = telemetry_out + ".csv";
+    }
+
+    if (cores == 0)
+        cores = static_cast<unsigned>(workloads.size());
+    if (workloads.size() == 1 && cores > 1)
+        workloads.resize(cores, workloads.front());
+    cfg.cores = cores;
+
+    try {
+        const RunResult res = runWorkloads(cfg, workloads);
+        for (std::size_t c = 0; c < res.cores.size(); ++c) {
+            const CoreResult& cr = res.cores[c];
+            std::cout << "core " << c << ": " << cr.workload
+                      << " ipc=" << cr.ipc
+                      << " coverage=" << cr.coverage()
+                      << " accuracy=" << cr.accuracy() << "\n";
+        }
+        if (res.telemetry) {
+            const TelemetryData& t = *res.telemetry;
+            std::cout << "telemetry: intervals=" << t.intervals.size()
+                      << " dropped=" << t.droppedIntervals
+                      << " incidents=" << t.incidents.size() << "\n";
+            for (const auto& h : t.histograms)
+                std::cout << "  " << h.name << ": samples=" << h.samples
+                          << " p50=" << h.p50 << " p95=" << h.p95
+                          << " p99=" << h.p99 << " max=" << h.maxValue
+                          << "\n";
+        }
+    } catch (const SimError& err) {
+        std::cerr << "sl_run: " << err.what() << "\n";
+        return 1;
+    }
+    return 0;
 }
 
 double

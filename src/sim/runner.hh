@@ -9,6 +9,7 @@
 #define SL_SIM_RUNNER_HH
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -92,6 +93,7 @@ struct RunConfig
     std::uint64_t seed = 1;
     FaultConfig faults;          //!< deterministic fault injection (off)
     HardeningConfig hardening;   //!< auditor / watchdog knobs
+    TelemetryConfig telemetry;   //!< observability (off by default)
 
     const std::string& l1Name() const { return l1.str(); }
     const std::string& l2Name() const { return l2.str(); }
@@ -146,6 +148,11 @@ struct RunResult
     /** Stored correlations at end of run, core 0. */
     std::uint64_t storedCorrelations = 0;
 
+    /** Telemetry flattened at end of run; null when telemetry was off.
+     *  shared_ptr keeps RunResult cheaply copyable (BatchRunner moves
+     *  results through its job table). */
+    std::shared_ptr<const TelemetryData> telemetry;
+
     /** Total metadata traffic in LLC accesses (reads+writes+shuffle). */
     std::uint64_t
     metadataTraffic() const
@@ -191,11 +198,13 @@ RunResult runWorkloads(const RunConfig& cfg,
                        const std::vector<std::string>& workloads);
 
 /**
- * Like runWorkloads but never touches the filesystem: SimError
- * propagates without writing a repro bundle. This is what BatchRunner
- * calls from worker threads, where concurrent failing jobs would race
- * on the bundle file; the batch layer captures formatReproBundle()
- * per job instead.
+ * Like runWorkloads but never writes repro bundles: SimError propagates
+ * without touching the bundle file. This is what BatchRunner calls from
+ * worker threads, where concurrent failing jobs would race on the bundle
+ * file; the batch layer captures formatReproBundle() per job instead.
+ * (Telemetry output files, when cfg.telemetry configures them, ARE
+ * written here on success — BatchRunner rewrites the paths per job so
+ * parallel jobs never share one.)
  */
 RunResult runWorkloadsRaw(const RunConfig& cfg,
                           const std::vector<std::string>& workloads);
@@ -226,6 +235,14 @@ std::vector<std::string> irregularSubset(double scale = -1.0);
 /** Geomean speedup of @p variant over @p baseline, matched by workload. */
 double speedupOver(const std::vector<double>& baseline_ipc,
                    const std::vector<double>& variant_ipc);
+
+/**
+ * Command-line front end behind the `sl_run` binary: parses prefetcher /
+ * geometry / telemetry flags, runs the workloads, and prints per-core
+ * results plus a telemetry summary. Returns a process exit code (0 ok,
+ * 2 usage error). Exposed as a function so tests can drive it.
+ */
+int runnerMain(int argc, char** argv);
 
 } // namespace sl
 

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Thin executable shell around runnerMain() (sim/runner.cc), which holds
+ * the actual CLI so tests can drive it in-process.
+ */
+
+#include "sim/runner.hh"
+
+int
+main(int argc, char** argv)
+{
+    return sl::runnerMain(argc, argv);
+}

@@ -84,6 +84,7 @@ SystemConfig::validate() const
                "DRAM transfer rate must be nonzero");
     faults.validate();
     hardening.validate();
+    telemetry.validate();
 }
 
 System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
@@ -96,10 +97,13 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
 
     if (cfg.faults.enabled())
         faults_ = std::make_unique<FaultInjector>(cfg.faults);
+    if (cfg.telemetry.enabled)
+        telemetry_ = std::make_unique<Telemetry>(cfg.telemetry);
 
     dram_ = std::make_unique<Dram>(dramForCores(cfg.cores, cfg.dramMTs),
                                    eq_);
     dram_->setFaultInjector(faults_.get());
+    dram_->setTelemetry(telemetry_.get());
 
     CacheParams llc_params;
     llc_params.name = "llc";
@@ -110,6 +114,7 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
     llc_params.ports = cfg.cores; // banked: one access/cycle per core slice
     llc_ = std::make_unique<Cache>(llc_params, eq_, dram_.get(), &pool_);
     llc_->setFaultInjector(faults_.get());
+    llc_->setTelemetry(telemetry_.get());
 
     partition_ = std::make_unique<CompositePartition>(cfg.cores);
     llc_->setPartition(partition_.get());
@@ -125,6 +130,7 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
         l2s_.push_back(
             std::make_unique<Cache>(l2p, eq_, llc_.get(), &pool_));
         l2s_.back()->setFaultInjector(faults_.get());
+        l2s_.back()->setTelemetry(telemetry_.get());
 
         CacheParams l1p;
         l1p.name = "l1d_" + std::to_string(c);
@@ -136,10 +142,12 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
         l1ds_.push_back(std::make_unique<Cache>(l1p, eq_,
                                                 l2s_.back().get(), &pool_));
         l1ds_.back()->setFaultInjector(faults_.get());
+        l1ds_.back()->setTelemetry(telemetry_.get());
 
         cores_.push_back(std::make_unique<Core>(
             static_cast<int>(c), cfg.core, eq_, l1ds_.back().get(),
             traces[c], &pool_));
+        cores_.back()->setTelemetry(telemetry_.get());
 
         if (cfg.l1dPrefetcher) {
             auto pf = cfg.l1dPrefetcher(static_cast<int>(c));
@@ -164,6 +172,35 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
         } else {
             l2Pfs_.push_back(nullptr);
         }
+    }
+
+    if (telemetry_) {
+        // The sampler reads cumulative totals through this callback; the
+        // delta math lives in IntervalSampler where it is unit-testable.
+        telemetry_->sampler.setSource([this](CounterSnapshot& s) {
+            s.retired = totalRetired();
+            for (const auto& l1 : l1ds_) {
+                const StatGroup& st = l1->stats();
+                s.l1dAccesses += st.get("demand_accesses");
+                s.l1dMisses += st.get("demand_misses");
+                s.mshrRetries += st.get("mshr_retries");
+            }
+            for (const auto& l2 : l2s_) {
+                const StatGroup& st = l2->stats();
+                s.l2Misses += st.get("demand_misses");
+                s.pfIssued += st.get("prefetch_issued");
+                s.pfUseful += st.get("prefetch_useful");
+                s.pfLate += st.get("prefetch_late");
+                s.mshrRetries += st.get("mshr_retries");
+            }
+            s.llcMisses = llc_->stats().get("demand_misses");
+            s.mshrRetries += llc_->stats().get("mshr_retries");
+            const StatGroup& d = dram_->stats();
+            s.dramReads = d.get("reads");
+            s.dramWrites = d.get("writes");
+            s.dramBytes = d.get("bytes");
+            s.dramRowHits = d.get("row_hits");
+        });
     }
 
     if (cfg.hardening.auditInterval > 0)
@@ -208,8 +245,24 @@ System::run(std::uint64_t max_cycles)
         // walks, retirement totalling) behind them.
         if (auditor_)
             auditor_->maybeAudit(cycle);
-        if (watchdog_ && watchdog_->probeDue(cycle))
-            watchdog_->observe(cycle, totalRetired());
+        if (watchdog_ && watchdog_->probeDue(cycle)) {
+            const std::uint64_t retired = totalRetired();
+            watchdog_->observe(cycle, retired);
+            if (telemetry_)
+                telemetry_->incident("watchdog_probe", cycle,
+                                     "retired=" +
+                                         std::to_string(retired));
+        }
+        if (telemetry_) {
+            std::size_t mshr = llc_->mshrCount();
+            for (const auto& c : l1ds_)
+                mshr = std::max(mshr, c->mshrCount());
+            for (const auto& c : l2s_)
+                mshr = std::max(mshr, c->mshrCount());
+            telemetry_->sampler.noteOccupancy(mshr, eq_.size());
+            if (telemetry_->sampler.due(cycle))
+                telemetry_->sampler.sample(cycle);
+        }
 
         if (progress) {
             ++cycle;
@@ -226,6 +279,9 @@ System::run(std::uint64_t max_cycles)
                         << diagnosticSnapshot(cycle));
         cycle = std::max(next, cycle + 1);
     }
+
+    if (telemetry_)
+        telemetry_->sampler.finalize(cycle);
 }
 
 std::uint64_t

@@ -20,6 +20,7 @@
 #include "dram/dram.hh"
 #include "prefetch/prefetcher.hh"
 #include "sim/hardening.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
 
 namespace sl
@@ -63,6 +64,7 @@ struct SystemConfig
 
     FaultConfig faults;        //!< deterministic fault injection (off)
     HardeningConfig hardening; //!< auditor / watchdog knobs
+    TelemetryConfig telemetry; //!< observability (off by default)
 
     /**
      * Reject impossible geometry before any component is built: zero
@@ -154,6 +156,9 @@ class System
     /** The auditor, or null when cfg.hardening.auditInterval == 0. */
     const InvariantAuditor* auditor() const { return auditor_.get(); }
 
+    /** The telemetry hub, or null when cfg.telemetry.enabled is false. */
+    Telemetry* telemetry() { return telemetry_.get(); }
+
   private:
     SystemConfig cfg_;
     EventQueue eq_;
@@ -161,6 +166,8 @@ class System
      *  still-live arena during member destruction. */
     RequestPool pool_;
     std::unique_ptr<FaultInjector> faults_;
+    /** Declared before the components that hold raw probes into it. */
+    std::unique_ptr<Telemetry> telemetry_;
     std::unique_ptr<Dram> dram_;
     std::unique_ptr<Cache> llc_;
     std::vector<std::unique_ptr<Cache>> l2s_;

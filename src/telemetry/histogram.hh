@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fixed-cost log2-bucket histograms for telemetry probes.
+ *
+ * Probe sites sit on simulator hot paths (load completion, DRAM access,
+ * prefetch-hit detection), so recording must be O(1) with no allocation:
+ * a bit_width, a clamp, and an array increment. Bucket i >= 1 covers
+ * values in [2^(i-1), 2^i); bucket 0 holds exactly the value 0; the last
+ * bucket is the overflow bucket and absorbs everything at or above
+ * 2^(NBuckets-2). 32 buckets therefore cover cycle counts up to 2^30
+ * individually — far past any realistic memory latency — while the
+ * whole histogram stays one cache line of counters plus a few scalars.
+ */
+
+#ifndef SL_TELEMETRY_HISTOGRAM_HH
+#define SL_TELEMETRY_HISTOGRAM_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace sl
+{
+
+template <unsigned NBuckets>
+class Histogram
+{
+    static_assert(NBuckets >= 2, "need a zero bucket and an overflow "
+                                 "bucket");
+
+  public:
+    static constexpr unsigned kBuckets = NBuckets;
+
+    /** Bucket index a value lands in (clamped into the overflow bucket). */
+    static constexpr unsigned
+    bucketOf(std::uint64_t v)
+    {
+        const unsigned b = static_cast<unsigned>(std::bit_width(v));
+        return b < NBuckets ? b : NBuckets - 1;
+    }
+
+    /** Smallest value bucket @p i accepts. */
+    static constexpr std::uint64_t
+    bucketLow(unsigned i)
+    {
+        return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+    }
+
+    void
+    record(std::uint64_t v)
+    {
+        ++counts_[bucketOf(v)];
+        sum_ += v;
+        ++samples_;
+        if (v > max_)
+            max_ = v;
+    }
+
+    void
+    reset()
+    {
+        counts_.fill(0);
+        sum_ = 0;
+        samples_ = 0;
+        max_ = 0;
+    }
+
+    std::uint64_t count(unsigned bucket) const { return counts_[bucket]; }
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t maxValue() const { return max_; }
+
+    double
+    mean() const
+    {
+        return samples_ == 0 ? 0.0
+                             : static_cast<double>(sum_) /
+                                   static_cast<double>(samples_);
+    }
+
+    /**
+     * Approximate percentile (p in [0,1]): the lower edge of the bucket
+     * holding the p-th sample. Bucket resolution (a factor of two) is
+     * plenty for latency-distribution shapes.
+     */
+    std::uint64_t
+    percentile(double p) const
+    {
+        if (samples_ == 0)
+            return 0;
+        const std::uint64_t want = static_cast<std::uint64_t>(
+            p * static_cast<double>(samples_ - 1));
+        std::uint64_t seen = 0;
+        for (unsigned i = 0; i < NBuckets; ++i) {
+            seen += counts_[i];
+            if (seen > want)
+                return bucketLow(i);
+        }
+        return bucketLow(NBuckets - 1);
+    }
+
+  private:
+    std::array<std::uint64_t, NBuckets> counts_{};
+    std::uint64_t sum_ = 0;
+    std::uint64_t samples_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace sl
+
+#endif // SL_TELEMETRY_HISTOGRAM_HH
