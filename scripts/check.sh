@@ -7,6 +7,7 @@
 #   scripts/check.sh sanitize   # sanitizer build only
 #   scripts/check.sh simspeed   # simulator-speed gate (fails <0.98x baseline)
 #   scripts/check.sh telemetry  # instrumented run + export validation
+#   scripts/check.sh resilience # hang-timeout kill + manifest resume
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -135,6 +136,56 @@ if failures:
 EOF
 }
 
+# Resilience stage: a sweep job armed with a lost-request fault and a
+# wall-clock budget far below its runtime. The job timeout must kill it
+# (snapshotting the hung state first) and journal it as failed; the
+# hang snapshot must restore and run to completion; re-invoking the
+# sweep against the same manifest must rerun the killed job to green,
+# after which a third invocation serves it from the manifest without
+# simulating anything. (A request the fault actually eats is caught by
+# the deadlock detector as an immediate SimError -- the fault campaign
+# covers that path -- so the rate here is armed-but-tiny and the wedge
+# comes from the wall budget.)
+resilience() {
+    local dir="$1"
+    echo "== resilience: hang timeout + manifest resume (${dir}) =="
+    cmake --build "${dir}" --target sl_run -j
+    local m="${dir}/resilience.manifest.jsonl"
+    rm -f "${m}" sl_snapshot_hang_job0.bin
+    local sweep=("${dir}/src/sim/sl_run" --l2 streamline --scale 0.5
+                 --fault-lose-request 1e-9 --manifest "${m}" spec06_mcf)
+    if "${sweep[@]}" --job-timeout 0.15 > "${dir}/resilience1.out"; then
+        echo "FAIL: sweep with an over-budget job exited 0"
+        exit 1
+    fi
+    grep -q 'FAILED \[job_timeout\]' "${dir}/resilience1.out"
+    grep -q '"ok":false' "${m}"
+    test -s sl_snapshot_hang_job0.bin
+    echo "hung job killed, journalled, and snapshotted"
+
+    # Same fault wiring as the save side: the snapshot carries the
+    # injector's RNG stream, so the restoring System must build it too.
+    "${dir}/src/sim/sl_run" --l2 streamline --scale 0.5 \
+        --fault-lose-request 1e-9 \
+        --restore-snapshot sl_snapshot_hang_job0.bin spec06_mcf \
+        > "${dir}/resilience1b.out"
+    grep -q 'spec06_mcf ipc=' "${dir}/resilience1b.out"
+    echo "hang snapshot restored and ran to completion"
+
+    "${sweep[@]}" --job-timeout 60 > "${dir}/resilience2.out"
+    grep -q 'job spec06_mcf: ok ipc=' "${dir}/resilience2.out"
+    "${sweep[@]}" > "${dir}/resilience3.out"
+    grep -q 'job spec06_mcf: ok (from manifest)' "${dir}/resilience3.out"
+    python3 - "${dir}/resilience3.out" <<'EOF'
+import json, sys
+text = open(sys.argv[1]).read()
+doc = json.loads(text.split("==JSON==")[1].split("==END-JSON==")[0])
+assert doc["jobs"] and all(j["ok"] for j in doc["jobs"]), doc
+print(f"resilience ok: {len(doc['jobs'])} job(s) green after resume")
+EOF
+    rm -f sl_snapshot_hang_job0.bin
+}
+
 # Telemetry stage: a short instrumented run through the sl_run CLI, then
 # validate the exports — JSONL row count matches the reported interval
 # count (>= 10, contiguous, with live IPC/MPKI/bandwidth), the CSV rows
@@ -175,18 +226,21 @@ EOF
 }
 
 case "${MODE}" in
-  plain)    run_mode plain build; bench_smoke build ;;
+  plain)    run_mode plain build; bench_smoke build; resilience build ;;
   sanitize) run_mode asan+ubsan build-asan -DSL_SANITIZE=ON ;;
   simspeed) cmake -B build -S .; simspeed build ;;
   telemetry) cmake -B build -S .; telemetry build ;;
+  resilience) cmake -B build -S .; resilience build ;;
   all)
     run_mode plain build
     bench_smoke build
     telemetry build
+    resilience build
     run_mode asan+ubsan build-asan -DSL_SANITIZE=ON
     simspeed build
     ;;
-  *) echo "usage: $0 [plain|sanitize|simspeed|telemetry|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [plain|sanitize|simspeed|telemetry|resilience|all]" >&2
+     exit 2 ;;
 esac
 
 echo "check.sh: all requested modes green"

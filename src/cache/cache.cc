@@ -5,6 +5,72 @@
 namespace sl
 {
 
+// Tagged-event entry points (see EventKind in common/event.hh). Each
+// reads the EventDesc out of the callback's capture buffer and re-enters
+// the component exactly as the former lambda did; storing these function
+// pointers directly in EventCallback::invoke_ keeps dispatch cost
+// identical to the lambda path while making pending events serializable.
+namespace event_invoke
+{
+
+namespace
+{
+inline const EventDesc&
+descOf(void* buf)
+{
+    return *std::launder(reinterpret_cast<const EventDesc*>(buf));
+}
+
+inline MemRequest*
+reqOf(const EventDesc& d)
+{
+    return reinterpret_cast<MemRequest*>(
+        static_cast<std::uintptr_t>(d.a));
+}
+} // namespace
+
+void
+retry(void* buf, Cycle now)
+{
+    const EventDesc& d = descOf(buf);
+    static_cast<Cache*>(d.comp)->retryNow(reqOf(d), now);
+}
+
+void
+forward(void* buf, Cycle now)
+{
+    const EventDesc& d = descOf(buf);
+    static_cast<Cache*>(d.comp)->forwardNow(reqOf(d), now);
+}
+
+void
+respond(void* buf, Cycle now)
+{
+    MemRequest* req = reqOf(descOf(buf));
+    req->client->requestDone(*req, now);
+    disposeRequest(req);
+}
+
+void
+prefetchIssue(void* buf, Cycle now)
+{
+    const EventDesc& d = descOf(buf);
+    static_cast<Cache*>(d.comp)->issuePrefetch(
+        static_cast<Addr>(d.a), static_cast<PC>(d.pc), d.core, now);
+}
+
+} // namespace event_invoke
+
+/** Descriptor for the request-carrying event kinds. */
+static EventDesc
+reqDesc(Cache* comp, MemRequest* req)
+{
+    EventDesc d;
+    d.comp = comp;
+    d.a = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(req));
+    return d;
+}
+
 Cache::Cache(const CacheParams& params, EventQueue& eq, MemLevel* next,
              RequestPool* pool)
     : params_(params), eq_(eq), next_(next),
@@ -202,10 +268,10 @@ Cache::handleAt(MemRequest* req, Cycle start)
     if (mshrs_.full()) {
         // Structural stall: retry a few cycles later.
         ++ctr_.mshrRetries;
-        MemRequest* r = req;
-        r->retried = true;
+        req->retried = true;
         eq_.schedule(start + 4,
-                     [this, r](Cycle now) { handleAt(r, reservePort(now)); });
+                     EventCallback::make(EventKind::Retry,
+                                         reqDesc(this, req)));
         return;
     }
 
@@ -244,7 +310,8 @@ Cache::handleAt(MemRequest* req, Cycle start)
     }
     ++outstandingDownstream_;
     eq_.schedule(start + params_.latency,
-                 [this, down](Cycle now) { next_->access(down, now); });
+                 EventCallback::make(EventKind::Forward,
+                                     reqDesc(this, down)));
 }
 
 void
@@ -345,10 +412,8 @@ void
 Cache::respond(MemRequest* req, Cycle when)
 {
     if (req->client) {
-        eq_.schedule(when, [req](Cycle now) {
-            req->client->requestDone(*req, now);
-            disposeRequest(req);
-        });
+        eq_.schedule(when, EventCallback::make(EventKind::Respond,
+                                               reqDesc(nullptr, req)));
     } else {
         disposeRequest(req);
     }
@@ -458,6 +523,40 @@ Cache::reclaimReservedWays(std::uint32_t set, Cycle now)
         row[w].valid = false;
         tags_[static_cast<std::size_t>(set) * params_.ways + w] = kNoTag;
     }
+}
+
+void
+Cache::serializeState(Serializer& s, const SnapshotCtx& ctx)
+{
+    const char* comp = params_.name.empty() ? "cache" : params_.name.c_str();
+    s.marker(0x43414348, comp);
+    // Geometry cross-check: a snapshot taken under different cache
+    // parameters must fail loudly, not reinterpret the block array.
+    std::uint32_t sets = numSets_;
+    std::uint32_t ways = params_.ways;
+    s.io(sets);
+    s.io(ways);
+    SL_CHECK(sets == numSets_ && ways == params_.ways, comp,
+             "snapshot geometry (" << sets << " sets x " << ways
+             << " ways) does not match this cache (" << numSets_ << " x "
+             << params_.ways << ")");
+    // fillWaiters_ is scratch: requestDone clears it on entry and the
+    // stale pointers left behind are dead by the time the cycle ends, so
+    // it carries no state across the snapshot point -- just drop the
+    // stale pointers on restore.
+    if (s.loading())
+        fillWaiters_.clear();
+    static_assert(std::is_trivially_copyable_v<Block>);
+    s.io(blocks_);
+    s.io(tags_);
+    s.io(lruTick_);
+    std::uint64_t outstanding = outstandingDownstream_;
+    s.io(outstanding);
+    outstandingDownstream_ = static_cast<std::size_t>(outstanding);
+    s.io(portTime_);
+    s.io(portCount_);
+    mshrs_.serializeState(s, ctx);
+    stats_.serializeState(s);
 }
 
 } // namespace sl

@@ -18,6 +18,7 @@
 
 #include "common/event.hh"
 #include "common/fault.hh"
+#include "common/serializer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cache/mshr_table.hh"
@@ -124,6 +125,21 @@ class Cache : public MemLevel, public RequestClient
      * resident or in flight. @p now may be in the future (scheduled).
      */
     void issuePrefetch(Addr addr, PC pc, int core_id, Cycle now);
+
+    /** Re-present @p r after an MSHR stall (EventKind::Retry target). */
+    void retryNow(MemRequest* r, Cycle now) { handleAt(r, reservePort(now)); }
+
+    /** Hand @p down to the next level (EventKind::Forward target). */
+    void forwardNow(MemRequest* down, Cycle now) { next_->access(down, now); }
+
+    /**
+     * Snapshot every mutable field (blocks, tag mirror, MSHRs with
+     * swizzled waiter pointers, port state, stats). Geometry fields are
+     * cross-checked, not restored: the restore side reconstructs the
+     * cache from config first. Only legal between cycles (no fill in
+     * progress).
+     */
+    void serializeState(Serializer& s, const SnapshotCtx& ctx);
 
     /**
      * Account one metadata access (LLC partition read/write): consumes a

@@ -22,6 +22,7 @@
 
 #include "common/error.hh"
 #include "common/hash.hh"
+#include "common/serializer.hh"
 #include "common/types.hh"
 #include "cache/request.hh"
 
@@ -147,6 +148,59 @@ class MshrTable
         for (std::size_t i = 0; i < slots_.size(); ++i) {
             if (used_[i])
                 fn(slots_[i]);
+        }
+    }
+
+    /**
+     * Snapshot the live entries. Waiter pointers swizzle through the
+     * request-pool slot ids in @p ctx. Load re-inserts into an empty
+     * table; the probe layout that results may differ from the saved
+     * one, which is fine -- layout is internal, lookup/erase behaviour
+     * is identical for any layout holding the same entries.
+     */
+    void
+    serializeState(Serializer& s, const SnapshotCtx& ctx)
+    {
+        s.marker(0x4d534852, "mshr_table");
+        std::uint64_t n = size_;
+        s.io(n);
+        if (s.loading()) {
+            SL_CHECK(n <= limit_, "mshr_table",
+                     "snapshot holds " << n << " MSHRs but this table is "
+                     "configured for " << limit_);
+            SL_CHECK(empty(), "mshr_table",
+                     "snapshot restore into a non-empty table");
+        }
+        if (s.saving()) {
+            for (std::size_t i = 0; i < slots_.size(); ++i) {
+                if (!used_[i])
+                    continue;
+                Mshr& m = slots_[i];
+                s.io(m.addr);
+                s.io(m.demandMerged);
+                s.io(m.prefetchOnly);
+                s.io(m.prefetchOriginHere);
+                std::uint64_t w = m.waiters.size();
+                s.io(w);
+                for (MemRequest* req : m.waiters)
+                    ctx.ioReq(s, req);
+            }
+        } else {
+            for (std::uint64_t e = 0; e < n; ++e) {
+                Addr addr = 0;
+                s.io(addr);
+                Mshr& m = insert(addr);
+                s.io(m.demandMerged);
+                s.io(m.prefetchOnly);
+                s.io(m.prefetchOriginHere);
+                std::uint64_t w = 0;
+                s.io(w);
+                for (std::uint64_t k = 0; k < w; ++k) {
+                    MemRequest* req = nullptr;
+                    ctx.ioReq(s, req);
+                    m.waiters.push_back(req);
+                }
+            }
         }
     }
 

@@ -31,6 +31,44 @@ namespace sl
 constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
 
 /**
+ * Serializable identity of a scheduled event (DESIGN.md §11).
+ *
+ * The simulator proper schedules exactly four lambda shapes (cache retry,
+ * downstream forward, response delivery, prefetch issue). Tagging each
+ * with a kind and a plain-data descriptor lets a snapshot write pending
+ * events as data and rebuild them on restore; untagged (Generic) events
+ * are reserved for tests and are rejected by the snapshot layer.
+ */
+enum class EventKind : std::uint8_t
+{
+    Generic = 0,   //!< opaque lambda; not serializable
+    Retry,         //!< comp = Cache*, a = MemRequest*
+    Forward,       //!< comp = Cache* (forwarder), a = MemRequest*
+    Respond,       //!< comp unused, a = MemRequest*
+    PrefetchIssue, //!< comp = Cache*, a = Addr, pc, core
+};
+
+/** Plain-data capture for a tagged event. Fits EventCallback's buffer. */
+struct EventDesc
+{
+    void* comp = nullptr;  //!< owning component (kind-dependent)
+    std::uint64_t a = 0;   //!< request pointer or address (kind-dependent)
+    std::uint64_t pc = 0;  //!< PrefetchIssue only
+    std::int32_t core = 0; //!< PrefetchIssue only
+};
+
+/** Per-kind invoker entry points, defined next to the component logic
+ *  they re-enter (cache.cc). Signatures match EventCallback::invoke_:
+ *  the void* is the callback's capture buffer holding an EventDesc. */
+namespace event_invoke
+{
+void retry(void* desc, Cycle now);
+void forward(void* desc, Cycle now);
+void respond(void* desc, Cycle now);
+void prefetchIssue(void* desc, Cycle now);
+} // namespace event_invoke
+
+/**
  * Fixed-capacity, trivially-copyable callable for scheduled events.
  *
  * The queue copies callbacks into buckets and (for far-future events)
@@ -66,7 +104,56 @@ class EventCallback
         };
     }
 
+    /**
+     * Build a tagged, serializable event. Dispatch cost is identical to
+     * the lambda path: the per-kind invoker is stored directly in
+     * invoke_, and the descriptor lives in the same capture buffer a
+     * lambda's captures would.
+     */
+    static EventCallback
+    make(EventKind kind, const EventDesc& desc)
+    {
+        static_assert(sizeof(EventDesc) <= kCaptureBytes,
+                      "EventDesc must fit the capture buffer");
+        static_assert(std::is_trivially_copyable_v<EventDesc>);
+        EventCallback cb;
+        ::new (static_cast<void*>(cb.buf_)) EventDesc(desc);
+        cb.kind_ = kind;
+        switch (kind) {
+        case EventKind::Retry:
+            cb.invoke_ = &event_invoke::retry;
+            break;
+        case EventKind::Forward:
+            cb.invoke_ = &event_invoke::forward;
+            break;
+        case EventKind::Respond:
+            cb.invoke_ = &event_invoke::respond;
+            break;
+        case EventKind::PrefetchIssue:
+            cb.invoke_ = &event_invoke::prefetchIssue;
+            break;
+        case EventKind::Generic:
+            SL_CHECK(false, "event",
+                     "make() requires a tagged kind; use the lambda "
+                     "constructor for generic events");
+        }
+        return cb;
+    }
+
     void operator()(Cycle now) { invoke_(buf_, now); }
+
+    /** Serializable kind; Generic for plain lambda events. */
+    EventKind kind() const { return kind_; }
+
+    /** Descriptor of a tagged event (kind() != Generic only). */
+    const EventDesc&
+    desc() const
+    {
+        SL_CHECK(kind_ != EventKind::Generic, "event",
+                 "desc() on an untagged (generic lambda) event");
+        return *std::launder(
+            reinterpret_cast<const EventDesc*>(buf_));
+    }
 
   private:
     /** Room for four pointer-sized captures — the largest hot-path
@@ -75,7 +162,12 @@ class EventCallback
 
     alignas(alignof(std::max_align_t)) unsigned char buf_[kCaptureBytes];
     void (*invoke_)(void*, Cycle) = nullptr;
+    /** Rides in what was struct padding: sizeof stays 48. */
+    EventKind kind_ = EventKind::Generic;
 };
+
+static_assert(std::is_trivially_copyable_v<EventCallback>,
+              "queue copies callbacks by memcpy");
 
 /**
  * Calendar queue with stable FIFO order per cycle.
@@ -150,6 +242,49 @@ class EventQueue
         SL_CHECK(empty(), "event_queue",
                  "reset with " << size() << " events still pending");
         now_ = 0;
+        seq_ = 0;
+        nextAt_ = kNoCycle;
+    }
+
+    /**
+     * Visit every pending event in execution order -- near buckets by
+     * cycle (FIFO within a bucket), then far events by (when, seq).
+     * Used by the snapshot layer; re-scheduling the visited events in
+     * this order into an empty queue reproduces identical execution
+     * order (fresh seqs assigned in sorted order preserve relative
+     * order, and bucket FIFO order IS global schedule order).
+     */
+    template <typename F>
+    void
+    forEachPending(F&& fn) const
+    {
+        for (std::size_t off = 0; off < kHorizon; ++off) {
+            const Cycle c = now_ + off;
+            const std::size_t idx = static_cast<std::size_t>(c) & kMask;
+            for (const Callback& cb : buckets_[idx])
+                fn(c, cb);
+        }
+        std::vector<Far> sorted(far_);
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const Far& a, const Far& b) {
+                      return a.when != b.when ? a.when < b.when
+                                              : a.seq < b.seq;
+                  });
+        for (const Far& f : sorted)
+            fn(f.when, f.cb);
+    }
+
+    /**
+     * Set simulated time to @p now for a snapshot restore. Only legal on
+     * an empty queue; the caller then re-schedules the saved events in
+     * forEachPending order.
+     */
+    void
+    restoreClock(Cycle now)
+    {
+        SL_CHECK(empty(), "event_queue",
+                 "restoreClock with " << size() << " events pending");
+        now_ = now;
         seq_ = 0;
         nextAt_ = kNoCycle;
     }

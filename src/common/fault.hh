@@ -20,10 +20,12 @@
 #ifndef SL_COMMON_FAULT_HH
 #define SL_COMMON_FAULT_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "error.hh"
 #include "rng.hh"
+#include "serializer.hh"
 #include "stats.hh"
 #include "types.hh"
 
@@ -45,12 +47,18 @@ struct FaultConfig
     /** Lose a downstream miss request after MSHR allocation (NOT
      *  graceful; pairs with the auditor/watchdog tests). */
     double loseRequestRate = 0.0;
+    /** Flip one bit of a serialized snapshot payload before it is
+     *  written (per save). Exercises the snapshot CRC: a corrupted
+     *  snapshot must be rejected on restore with a SimError, never
+     *  silently produce a wrong continuation. */
+    double snapshotCorruptRate = 0.0;
 
     bool
     enabled() const
     {
         return metadataBitFlipRate > 0 || dropPrefetchFillRate > 0 ||
-               dramDelayRate > 0 || loseRequestRate > 0;
+               dramDelayRate > 0 || loseRequestRate > 0 ||
+               snapshotCorruptRate > 0;
     }
 
     /** Reject nonsensical rates before a run starts. */
@@ -69,6 +77,9 @@ struct FaultConfig
         SL_REQUIRE(rate_ok(loseRequestRate), "fault_config",
                    "loseRequestRate must be in [0,1], got "
                        << loseRequestRate);
+        SL_REQUIRE(rate_ok(snapshotCorruptRate), "fault_config",
+                   "snapshotCorruptRate must be in [0,1], got "
+                       << snapshotCorruptRate);
     }
 };
 
@@ -135,8 +146,38 @@ class FaultInjector
         return true;
     }
 
+    /**
+     * Maybe flip one bit of a serialized snapshot payload in place.
+     * @return true when corrupted.
+     */
+    bool
+    corruptSnapshotBytes(std::uint8_t* data, std::size_t len)
+    {
+        if (cfg_.snapshotCorruptRate <= 0 || len == 0 ||
+            !rng_.chance(cfg_.snapshotCorruptRate))
+            return false;
+        data[rng_.below(len)] ^=
+            static_cast<std::uint8_t>(1u << rng_.below(8));
+        ++stats_.counter("snapshot_bytes_corrupted");
+        return true;
+    }
+
     StatGroup& stats() { return stats_; }
     const StatGroup& stats() const { return stats_; }
+
+    /** Snapshot the fault stream: RNG position plus injection stats,
+     *  so a restored run replays the remaining draws bit-identically. */
+    void
+    serializeState(Serializer& s)
+    {
+        s.marker(0x464c5401, "fault_injector");
+        std::uint64_t st[4];
+        rng_.saveState(st);
+        s.ioBytes(st, sizeof(st));
+        if (s.loading())
+            rng_.loadState(st);
+        stats_.serializeState(s);
+    }
 
   private:
     FaultConfig cfg_;

@@ -89,6 +89,90 @@ class ObjectPool
     /** Total arena slots across all chunks. */
     std::size_t capacity() const { return chunks_.size() * chunkObjects_; }
 
+    /** Arena slots per chunk (fixed at construction). */
+    std::size_t chunkSize() const { return chunkObjects_; }
+
+    /** Chunks allocated so far. */
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+    /**
+     * Stable chunk-major slot id of @p obj for snapshots. O(chunks);
+     * only the snapshot layer walks it. Throws SimError for an object
+     * the pool does not own.
+     */
+    std::size_t
+    indexOf(const T* obj) const
+    {
+        for (std::size_t ci = 0; ci < chunks_.size(); ++ci) {
+            const T* base = chunks_[ci].get();
+            if (obj >= base && obj < base + chunkObjects_)
+                return ci * chunkObjects_ +
+                       static_cast<std::size_t>(obj - base);
+        }
+        SL_CHECK(false, "object_pool",
+                 "indexOf: object is not in any arena chunk");
+        return 0;
+    }
+
+    /** The slot at chunk-major id @p idx. */
+    T*
+    at(std::size_t idx)
+    {
+        SL_CHECK(idx < capacity(), "object_pool",
+                 "slot id " << idx << " out of range (capacity "
+                            << capacity() << ")");
+        return &chunks_[idx / chunkObjects_][idx % chunkObjects_];
+    }
+
+    /** Is the slot at @p idx currently handed out? */
+    bool
+    isLive(std::size_t idx)
+    {
+        return !at(idx)->inFreeList;
+    }
+
+    /**
+     * Snapshot restore: grow to @p chunk_count chunks, mark exactly the
+     * slots flagged in @p live as handed out, and rebuild the free list
+     * in canonical chunk-major order. Free-list order only decides which
+     * arena slot the next acquire() hands out -- object identity never
+     * feeds simulated behaviour -- so the canonical order is
+     * behaviour-identical to the save-side's history-dependent one.
+     * The caller then overwrites each live slot's fields.
+     */
+    void
+    restoreLayout(std::size_t chunk_count,
+                  const std::vector<std::uint8_t>& live,
+                  std::uint64_t acquired, std::uint64_t released)
+    {
+        SL_CHECK(live.size() == chunk_count * chunkObjects_, "object_pool",
+                 "restoreLayout: live map covers " << live.size()
+                     << " slots but " << chunk_count << " chunks of "
+                     << chunkObjects_ << " were saved");
+        while (chunks_.size() < chunk_count)
+            grow();
+        free_.clear();
+        std::uint64_t liveCount = 0;
+        for (std::size_t idx = 0; idx < capacity(); ++idx) {
+            T* obj = at(idx);
+            const bool isLiveSlot = idx < live.size() && live[idx];
+            obj->pool = this;
+            obj->inFreeList = !isLiveSlot;
+            if (isLiveSlot)
+                ++liveCount;
+            else
+                free_.push_back(obj);
+        }
+        SL_CHECK(released <= acquired &&
+                     acquired - released == liveCount,
+                 "object_pool",
+                 "restoreLayout: saved acquire/release counters ("
+                     << acquired << "/" << released
+                     << ") disagree with " << liveCount << " live slots");
+        acquired_ = acquired;
+        released_ = released;
+    }
+
     /**
      * Accounting balance check (run by the InvariantAuditor): every
      * arena slot is either on the free list or outstanding, and releases

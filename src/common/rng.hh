@@ -100,6 +100,22 @@ class Rng
         return idx >= n ? n - 1 : idx;
     }
 
+    /** Copy out the raw engine state (snapshots). */
+    void
+    saveState(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state_[i];
+    }
+
+    /** Overwrite the engine state with a previously saved one. */
+    void
+    loadState(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = in[i];
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "serializer.hh"
+
 namespace sl
 {
 
@@ -27,6 +29,7 @@ class Counter
     Counter& operator++() { ++value_; return *this; }
     Counter& operator+=(std::uint64_t v) { value_ += v; return *this; }
     void reset() { value_ = 0; }
+    void set(std::uint64_t v) { value_ = v; }
 
     std::uint64_t value() const { return value_; }
 
@@ -69,6 +72,37 @@ class StatGroup
     const std::map<std::string, Counter>& counters() const
     {
         return counters_;
+    }
+
+    /**
+     * Snapshot the counter map as (name, value) pairs. std::map keeps
+     * keys sorted, so save order is deterministic; load creates (or
+     * overwrites) counters by name, reproducing exactly the save-time
+     * counter set -- counters that only register lazily on first
+     * increment (HotCounter) stay absent if they never fired, keeping
+     * stat digests over the map identical across a restore.
+     */
+    void
+    serializeState(Serializer& s)
+    {
+        std::uint64_t n = counters_.size();
+        s.io(n);
+        if (s.saving()) {
+            for (auto& [k, c] : counters_) {
+                std::string key = k;
+                std::uint64_t v = c.value();
+                s.io(key);
+                s.io(v);
+            }
+        } else {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                std::string key;
+                std::uint64_t v = 0;
+                s.io(key);
+                s.io(v);
+                counters_[key].set(v);
+            }
+        }
     }
 
   private:

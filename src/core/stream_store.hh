@@ -171,6 +171,38 @@ class StreamStore
      */
     void audit(Cycle now) const;
 
+    /** Snapshot the slot array, occupancy masks, current allocation, and
+     *  replacement state. Geometry is rebuilt from params and only
+     *  cross-checked here. */
+    void
+    serializeState(Serializer& s)
+    {
+        s.marker(0x53545253, "stream_store");
+        std::uint64_t nslots = slots_.size();
+        s.io(nslots);
+        SL_CHECK(nslots == slots_.size(), "stream_store",
+                 "snapshot has " << nslots << " slots but this store is "
+                 "sized for " << slots_.size());
+        std::uint32_t den = setDen_;
+        s.io(den);
+        setDen_ = den;
+        std::uint32_t w = ways_;
+        s.io(w);
+        SL_CHECK(w <= params_.ways, "stream_store",
+                 "snapshot allocation " << w << " ways exceeds configured "
+                 << params_.ways);
+        ways_ = w;
+        s.io(denPow2_);
+        s.io(denMask_);
+        static_assert(std::is_trivially_copyable_v<Slot>);
+        s.io(slots_);
+        s.io(occ_);
+        s.io(liveEntries_);
+        if (tpmj_)
+            tpmj_->serializeState(s);
+        stats_.serializeState(s);
+    }
+
   private:
     struct Slot
     {

@@ -134,6 +134,36 @@ class StreamlinePrefetcher : public Prefetcher, public PartitionPolicy
 
     const StreamlineConfig& config() const { return cfg_; }
 
+    void
+    serializeState(Serializer& s, const SnapshotCtx& ctx) override
+    {
+        (void)ctx;
+        serializeBaseState(s);
+        s.marker(0x53544c4e, "streamline");
+        if (store_)
+            store_->serializeState(s);
+        if (uadp_)
+            uadp_->serializeState(s);
+        // TuEntry holds a vector (the per-PC metadata buffer), so the
+        // training unit serializes per-field.
+        std::uint32_t n = static_cast<std::uint32_t>(tu_.size());
+        s.io(n);
+        SL_CHECK(n == tu_.size(), "streamline",
+                 "snapshot has " << n << " TU entries but this prefetcher "
+                 "is configured for " << tu_.size());
+        for (auto& tu : tu_) {
+            s.io(tu.pc);
+            s.io(tu.valid);
+            s.io(tu.cur);
+            s.io(tu.prevTail);
+            s.io(tu.hasTrigger);
+            s.io(tu.buffer);
+            s.io(tu.epochAccesses);
+            s.io(tu.epochInsertions);
+            s.io(tu.degree);
+        }
+    }
+
   private:
     struct TuEntry
     {

@@ -52,6 +52,18 @@ class TpMockingjay
 
     StatGroup& stats() { return stats_; }
 
+    /** Snapshot sampler contents, clocks, and the reuse predictor. */
+    void
+    serializeState(Serializer& s)
+    {
+        s.marker(0x54504d4a, "tp_mockingjay");
+        s.io(sampler_);
+        s.io(samplerClock_);
+        s.io(rdp_);
+        s.io(setClock_);
+        stats_.serializeState(s);
+    }
+
   private:
     struct SamplerEntry
     {

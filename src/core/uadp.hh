@@ -68,6 +68,23 @@ class UtilityPartitioner
 
     StatGroup& stats() { return stats_; }
 
+    /** Snapshot the data sampler, epoch counters, and accuracy state. */
+    void
+    serializeState(Serializer& s)
+    {
+        s.marker(0x55414450, "uadp");
+        dataSampler_.serializeState(s);
+        s.io(sampledCorrHits_);
+        s.io(accessesThisEpoch_);
+        s.io(issuedThisEpoch_);
+        s.io(usefulThisEpoch_);
+        s.io(lastAccuracy_);
+        std::uint32_t w = weight_;
+        s.io(w);
+        weight_ = w;
+        stats_.serializeState(s);
+    }
+
   private:
     void rollAccuracyEpoch();
 

@@ -21,6 +21,7 @@
 
 #include "common/error.hh"
 #include "common/event.hh"
+#include "common/serializer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cache/cache.hh"
@@ -112,6 +113,42 @@ class Core : public RequestClient
 
     int id() const { return id_; }
     StatGroup& stats() { return stats_; }
+
+    /**
+     * Snapshot every mutable field. The core never stores request
+     * pointers -- completions match ROB slots via the request tag
+     * ((slot << 32) | generation) -- so no swizzling is needed; the
+     * trace cursor re-binds to the deterministically re-synthesized
+     * trace on restore.
+     */
+    void
+    serializeState(Serializer& s)
+    {
+        s.marker(0x434f5245, "core");
+        std::uint32_t robSize = static_cast<std::uint32_t>(rob_.size());
+        s.io(robSize);
+        SL_CHECK(robSize == rob_.size(), "core",
+                 "snapshot ROB size " << robSize << " does not match the "
+                 "configured " << rob_.size() << " entries");
+        static_assert(std::is_trivially_copyable_v<RobEntry>);
+        s.io(rob_);
+        s.io(robHead_);
+        s.io(robCount_);
+        s.io(slotGen_);
+        s.io(recordIdx_);
+        s.io(bubblesLeft_);
+        s.io(bubblesPrimed_);
+        s.io(lastLoadSlot_);
+        s.io(lastLoadGen_);
+        s.io(instrRetired_);
+        s.io(recordsRetired_);
+        s.io(warmupInstr_);
+        s.io(warmupEndCycle_);
+        s.io(evalInstr_);
+        s.io(evalEndCycle_);
+        s.io(startCycle_);
+        stats_.serializeState(s);
+    }
 
   private:
     struct RobEntry

@@ -131,13 +131,31 @@ Dram::access(MemRequest* req, Cycle now)
     if (tele_)
         tele_->dramLatency.record(done - now);
     if (req->client) {
-        eq_.schedule(done, [req](Cycle now) {
-            req->client->requestDone(*req, now);
-            disposeRequest(req);
-        });
+        EventDesc d;
+        d.a = static_cast<std::uint64_t>(
+            reinterpret_cast<std::uintptr_t>(req));
+        eq_.schedule(done, EventCallback::make(EventKind::Respond, d));
     } else {
         disposeRequest(req);
     }
+}
+
+void
+Dram::serializeState(Serializer& s)
+{
+    s.marker(0x4452414d, "dram");
+    std::uint32_t nbanks = static_cast<std::uint32_t>(banks_.size());
+    std::uint32_t nchan = static_cast<std::uint32_t>(busFreeAt_.size());
+    s.io(nbanks);
+    s.io(nchan);
+    SL_CHECK(nbanks == banks_.size() && nchan == busFreeAt_.size(), "dram",
+             "snapshot DRAM geometry (" << nbanks << " banks, " << nchan
+             << " channels) does not match this configuration ("
+             << banks_.size() << ", " << busFreeAt_.size() << ")");
+    static_assert(std::is_trivially_copyable_v<Bank>);
+    s.io(banks_);
+    s.io(busFreeAt_);
+    stats_.serializeState(s);
 }
 
 } // namespace sl

@@ -16,6 +16,7 @@
 
 #include "common/event.hh"
 #include "common/fault.hh"
+#include "common/serializer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cache/cache.hh"
@@ -76,6 +77,10 @@ class Dram : public MemLevel
 
     /** Latest cycle any channel bus is busy until (diagnostics). */
     Cycle busyUntil() const;
+
+    /** Snapshot bank/row/bus state and stats. Derived timing constants
+     *  are rebuilt from params at construction, not serialized. */
+    void serializeState(Serializer& s);
 
   private:
     struct Bank

@@ -16,6 +16,7 @@
 
 #include "common/event.hh"
 #include "common/fault.hh"
+#include "common/serializer.hh"
 #include "common/stats.hh"
 #include "cache/cache.hh"
 
@@ -89,17 +90,45 @@ class Prefetcher : public CacheListener
     const StatGroup& stats() const { return stats_; }
     const std::string& name() const { return stats_.name(); }
 
+    /**
+     * Snapshot the prefetcher's mutable state. The default refuses with
+     * a SimError naming the design: a snapshot that silently skipped a
+     * prefetcher's tables would restore into a wrong-answer run. Every
+     * design the paper's experiments sweep (stride, streamline, triage,
+     * triangel) overrides this.
+     */
+    virtual void
+    serializeState(Serializer& s, const SnapshotCtx& ctx)
+    {
+        (void)s;
+        (void)ctx;
+        SL_CHECK(false, "snapshot",
+                 "prefetcher '" << name() << "' does not support "
+                 "checkpoint/restore; rerun without snapshots or use a "
+                 "snapshot-capable design");
+    }
+
   protected:
+    /** Base-class state shared by every design (issue counter etc.);
+     *  overrides call this first. */
+    void
+    serializeBaseState(Serializer& s)
+    {
+        s.marker(0x50524546, "prefetcher");
+        stats_.serializeState(s);
+    }
     /** Issue a prefetch into the owning cache at cycle @p when. */
     void
     prefetch(Addr addr, PC pc, Cycle when)
     {
         ++issuedCtr_;
-        Cache* c = owner_;
-        const int core = coreId_;
-        eq_->schedule(when, [c, addr, pc, core](Cycle now) {
-            c->issuePrefetch(addr, pc, core, now);
-        });
+        EventDesc d;
+        d.comp = owner_;
+        d.a = addr;
+        d.pc = pc;
+        d.core = coreId_;
+        eq_->schedule(when,
+                      EventCallback::make(EventKind::PrefetchIssue, d));
     }
 
     /** Number of LLC sets this core's prefetcher can place metadata in. */

@@ -26,6 +26,15 @@ class StridePrefetcher : public Prefetcher
 
     void onAccess(const AccessInfo& info) override;
 
+    void
+    serializeState(Serializer& s, const SnapshotCtx& ctx) override
+    {
+        (void)ctx;
+        serializeBaseState(s);
+        static_assert(std::is_trivially_copyable_v<Entry>);
+        s.io(table_);
+    }
+
   private:
     struct Entry
     {

@@ -4,8 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <limits>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -24,39 +27,125 @@ defaultJobThreads()
     return hw ? hw : 1;
 }
 
-BatchRunner::BatchRunner(unsigned threads)
-    : threads_(threads ? threads : defaultJobThreads())
+BatchRunner::BatchRunner(unsigned threads, BatchOptions opts)
+    : threads_(threads ? threads : defaultJobThreads()),
+      opts_(std::move(opts))
 {
+}
+
+std::string
+jobDigest(const ExperimentSpec& spec)
+{
+    std::string key = spec.label;
+    key += '\0';
+    key += toJson(spec.config);
+    for (const auto& w : spec.workloads) {
+        key += '\0';
+        key += w;
+    }
+    std::uint64_t h = 1469598103934665603ull; // FNV-1a offset basis
+    for (const char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull; // FNV-1a prime
+    }
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << h;
+    return os.str();
 }
 
 namespace
 {
 
+/**
+ * One attempt-limited job execution. The per-job timeout flows through
+ * RunHooks: over-budget jobs snapshot themselves first (so a hung run is
+ * resumable for postmortem), then fail with SimError("job_timeout") and
+ * take the same retry/journal path as any other failure.
+ */
 JobResult
-runOne(const ExperimentSpec& spec)
+runOne(const ExperimentSpec& spec, const BatchOptions& opts,
+       std::size_t job_index)
 {
     JobResult jr;
     const auto t0 = std::chrono::steady_clock::now();
-    try {
-        jr.result = runWorkloadsRaw(spec.config, spec.workloads);
-        jr.ok = true;
-    } catch (const SimError& err) {
-        jr.error = err;
-        jr.reproBundle =
-            formatReproBundle(spec.config, spec.workloads, err);
-    } catch (const std::exception& e) {
-        // Non-simulation failures (unknown workload, bad argument) are
-        // wrapped so every failure travels the same path.
-        SimError err("batch", kNoErrorCycle, e.what(),
-                     std::string("[batch] ") + e.what());
-        jr.error = err;
-        jr.reproBundle =
-            formatReproBundle(spec.config, spec.workloads, err);
+
+    RunHooks hooks;
+    if (opts.jobTimeoutSec > 0) {
+        hooks.wallTimeoutSec = opts.jobTimeoutSec;
+        hooks.timeoutSnapshotPath =
+            (opts.snapshotDir.empty() ? std::string()
+                                      : opts.snapshotDir + "/") +
+            "sl_snapshot_hang_job" + std::to_string(job_index) + ".bin";
+    }
+
+    const unsigned attempts = 1 + opts.maxRetries;
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0 && opts.retryBackoffSec > 0)
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                opts.retryBackoffSec *
+                static_cast<double>(1u << (attempt - 1))));
+        ++jr.attempts;
+        try {
+            jr.result =
+                runWorkloadsRaw(spec.config, spec.workloads, hooks);
+            jr.ok = true;
+            jr.error.reset();
+            jr.reproBundle.clear();
+            break;
+        } catch (const SimError& err) {
+            jr.error = err;
+            jr.reproBundle =
+                formatReproBundle(spec.config, spec.workloads, err);
+        } catch (const std::exception& e) {
+            // Non-simulation failures (unknown workload, bad argument)
+            // are wrapped so every failure travels the same path.
+            SimError err("batch", kNoErrorCycle, e.what(),
+                         std::string("[batch] ") + e.what());
+            jr.error = err;
+            jr.reproBundle =
+                formatReproBundle(spec.config, spec.workloads, err);
+        }
     }
     jr.wallSeconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
     return jr;
+}
+
+/**
+ * Parse a sweep manifest: digest -> (ok, journalled job JSON). The lines
+ * are our own writer's output, so string surgery suffices -- "job" is
+ * always the final field. Unparseable lines (a crash can truncate the
+ * last line mid-write on some filesystems) are skipped; the job just
+ * reruns. Later lines win, so a rerun of a failed job supersedes it.
+ */
+std::map<std::string, std::pair<bool, std::string>>
+loadManifest(const std::string& path)
+{
+    std::map<std::string, std::pair<bool, std::string>> entries;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string digestKey = "{\"digest\":\"";
+        const std::string okKey = "\",\"ok\":";
+        const std::string jobKey = ",\"job\":";
+        if (line.rfind(digestKey, 0) != 0 || line.empty() ||
+            line.back() != '}')
+            continue;
+        const std::size_t dBegin = digestKey.size();
+        const std::size_t dEnd = line.find(okKey, dBegin);
+        if (dEnd == std::string::npos)
+            continue;
+        const std::size_t jBegin = line.find(jobKey, dEnd);
+        if (jBegin == std::string::npos)
+            continue;
+        const std::string digest = line.substr(dBegin, dEnd - dBegin);
+        const bool ok = line.compare(dEnd + okKey.size(), 4, "true") == 0;
+        const std::size_t fragBegin = jBegin + jobKey.size();
+        entries[digest] = {ok, line.substr(fragBegin, line.size() -
+                                                          fragBegin - 1)};
+    }
+    return entries;
 }
 
 } // namespace
@@ -94,21 +183,62 @@ BatchRunner::run(const std::vector<ExperimentSpec>& specs_in) const
     if (specs.empty())
         return results;
 
+    // Resumable sweeps: digests identify jobs across invocations; the
+    // journal replays completed-ok jobs and reruns everything else.
+    const bool journaled = !opts_.manifestPath.empty();
+    std::vector<std::string> digests;
+    std::map<std::string, std::pair<bool, std::string>> prior;
+    std::ofstream manifest;
+    std::mutex manifestMu;
+    if (journaled) {
+        digests.reserve(specs.size());
+        for (const auto& sp : specs)
+            digests.push_back(jobDigest(sp));
+        prior = loadManifest(opts_.manifestPath);
+        manifest.open(opts_.manifestPath, std::ios::app);
+        SL_CHECK(manifest.good(), "batch",
+                 "cannot open sweep manifest '" << opts_.manifestPath
+                                                << "' for appending");
+    }
+
+    auto runJob = [&](std::size_t i) {
+        if (journaled) {
+            if (auto it = prior.find(digests[i]);
+                it != prior.end() && it->second.first) {
+                results[i].ok = true;
+                results[i].cachedJson = it->second.second;
+                return; // already journalled ok: skip, splice its JSON
+            }
+        }
+        results[i] = runOne(specs[i], opts_, i);
+        if (journaled) {
+            // Flush after every line so a SIGKILL at any point leaves a
+            // valid journal; the at-most-one-partial last line is
+            // skipped by the loader and that job simply reruns.
+            std::lock_guard<std::mutex> lock(manifestMu);
+            manifest << "{\"digest\":\"" << digests[i]
+                     << "\",\"ok\":" << (results[i].ok ? "true" : "false")
+                     << ",\"job\":" << toJson(specs[i], results[i])
+                     << "}\n";
+            manifest.flush();
+        }
+    };
+
     const std::size_t workers =
         std::min<std::size_t>(threads_, specs.size());
     if (workers <= 1) {
         for (std::size_t i = 0; i < specs.size(); ++i)
-            results[i] = runOne(specs[i]);
+            runJob(i);
         return results;
     }
 
     // Work-stealing by atomic ticket: results land at their submission
     // index, so the output order never depends on thread interleaving.
     std::atomic<std::size_t> next{0};
-    auto worker = [&specs, &results, &next] {
+    auto worker = [&specs, &runJob, &next] {
         for (std::size_t i = next.fetch_add(1); i < specs.size();
              i = next.fetch_add(1))
-            results[i] = runOne(specs[i]);
+            runJob(i);
     };
     std::vector<std::thread> pool;
     pool.reserve(workers);
@@ -167,6 +297,11 @@ toJson(const RunConfig& cfg)
 std::string
 toJson(const ExperimentSpec& spec, const JobResult& jr)
 {
+    // Manifest-resumed jobs replay their journalled fragment verbatim,
+    // so a resumed sweep's ==JSON== is indistinguishable from the
+    // uninterrupted run's.
+    if (!jr.cachedJson.empty())
+        return jr.cachedJson;
     std::ostringstream os;
     os << "{\"label\":\"" << jsonEscape(spec.label) << "\""
        << ",\"config\":" << toJson(spec.config)

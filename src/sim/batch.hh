@@ -42,10 +42,43 @@ struct JobResult
     std::optional<SimError> error; //!< set when !ok
     std::string reproBundle;       //!< formatReproBundle() text when !ok
     double wallSeconds = 0;
+    unsigned attempts = 0;         //!< run attempts (0: served from manifest)
+    /**
+     * Manifest-resumed jobs carry the journalled toJson(spec, jr)
+     * fragment verbatim (the RunResult itself is not journalled);
+     * toJson() splices it back so a resumed sweep's ==JSON== matches the
+     * uninterrupted one. Empty for jobs that actually ran.
+     */
+    std::string cachedJson;
 };
 
 /** Worker count: $SL_JOBS if >= 1, else hardware_concurrency (min 1). */
 unsigned defaultJobThreads();
+
+/** Robustness knobs for long sweeps; all off by default. */
+struct BatchOptions
+{
+    /**
+     * JSONL journal of finished jobs ("" disables). One line per
+     * completed job: {"digest":..., "ok":..., "job":...}. Re-running a
+     * sweep against the same manifest skips jobs already journalled ok
+     * (their JSON is replayed from the journal) and reruns failed or
+     * killed ones; a job interrupted mid-run (SIGKILL) has no line and
+     * simply reruns. Appends are flushed after every job, so the file is
+     * valid after a crash at any point.
+     */
+    std::string manifestPath;
+    /**
+     * Per-job wall-clock budget in seconds (0 = unlimited). A job over
+     * budget first snapshots itself (sl_snapshot_hang_job<i>.bin under
+     * snapshotDir) and then fails with SimError("job_timeout") -- it is
+     * journalled as failed, not wedged forever.
+     */
+    double jobTimeoutSec = 0;
+    unsigned maxRetries = 0;   //!< extra attempts for a failed job
+    double retryBackoffSec = 0; //!< sleep before retry k: backoff * 2^(k-1)
+    std::string snapshotDir;   //!< where hang snapshots land ("" = cwd)
+};
 
 /**
  * Executes ExperimentSpecs on `threads` workers (0 = defaultJobThreads).
@@ -54,16 +87,26 @@ unsigned defaultJobThreads();
 class BatchRunner
 {
   public:
-    explicit BatchRunner(unsigned threads = 0);
+    explicit BatchRunner(unsigned threads = 0, BatchOptions opts = {});
 
     unsigned threads() const { return threads_; }
+    const BatchOptions& options() const { return opts_; }
 
     std::vector<JobResult> run(const std::vector<ExperimentSpec>& specs)
         const;
 
   private:
     unsigned threads_;
+    BatchOptions opts_;
 };
+
+/**
+ * Stable identity of one job for the sweep manifest: a 64-bit FNV-1a
+ * over the label, the config JSON, and the workload list, rendered as
+ * hex. Collisions across a sweep's handful of jobs are not a realistic
+ * concern; a digest only needs to tell jobs of one sweep apart.
+ */
+std::string jobDigest(const ExperimentSpec& spec);
 
 /** JSON-escape the contents of @p s (no surrounding quotes). */
 std::string jsonEscape(const std::string& s);

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "common/error.hh"
+#include "common/serializer.hh"
 #include "common/types.hh"
 
 namespace sl
@@ -86,6 +87,15 @@ class InvariantAuditor
     /** Completed audit passes (tests assert the auditor actually ran). */
     std::uint64_t auditsRun() const { return auditsRun_; }
 
+    /** Snapshot the audit schedule so restored runs audit on cadence. */
+    void
+    serializeState(Serializer& s)
+    {
+        s.marker(0x41554454, "invariant_auditor");
+        s.io(nextAudit_);
+        s.io(auditsRun_);
+    }
+
   private:
     System& sys_;
     Cycle interval_;
@@ -145,6 +155,17 @@ class ProgressWatchdog
     }
 
     Cycle window() const { return window_; }
+
+    /** Snapshot the progress-tracking state (probe schedule included). */
+    void
+    serializeState(Serializer& s)
+    {
+        s.marker(0x57444f47, "progress_watchdog");
+        s.io(lastProgressCycle_);
+        s.io(nextProbe_);
+        s.io(lastWork_);
+        s.io(primed_);
+    }
 
   private:
     [[noreturn]] void trip(Cycle now) const;

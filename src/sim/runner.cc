@@ -1,6 +1,8 @@
 #include "sim/runner.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -12,6 +14,7 @@
 #include "common/error.hh"
 #include "prefetch/registry.hh"
 #include "sim/batch.hh"
+#include "sim/snapshot.hh"
 
 namespace sl
 {
@@ -103,6 +106,8 @@ formatReproBundle(const RunConfig& cfg,
        << "\n";
     os << "fault.lose_request_rate = " << cfg.faults.loseRequestRate
        << "\n";
+    os << "fault.snapshot_corrupt_rate = "
+       << cfg.faults.snapshotCorruptRate << "\n";
     os << "hardening.audit_interval = " << cfg.hardening.auditInterval
        << "\n";
     os << "hardening.watchdog_window = " << cfg.hardening.watchdogWindow
@@ -122,9 +127,28 @@ reproBundlePath()
     return "sl_repro_bundle.txt";
 }
 
+std::string
+snapshotDigest(const RunConfig& cfg,
+               const std::vector<std::string>& workloads)
+{
+    std::ostringstream os;
+    os << toJson(cfg) << " workloads:";
+    for (const auto& w : workloads)
+        os << ' ' << w;
+    return os.str();
+}
+
 RunResult
 runWorkloadsRaw(const RunConfig& cfg,
                 const std::vector<std::string>& workloads)
+{
+    return runWorkloadsRaw(cfg, workloads, RunHooks{});
+}
+
+RunResult
+runWorkloadsRaw(const RunConfig& cfg,
+                const std::vector<std::string>& workloads,
+                const RunHooks& hooks)
 {
     cfg.validate();
     SL_REQUIRE(workloads.size() == cfg.cores, "run_config",
@@ -152,6 +176,36 @@ runWorkloadsRaw(const RunConfig& cfg,
     sc.telemetry = cfg.telemetry;
 
     System sys(sc, traces);
+
+    // Orchestration hooks (see RunHooks): all three share one config
+    // digest, computed over what the run IS, not what the hooks do.
+    const bool hooked = !hooks.restorePath.empty() ||
+                        (hooks.snapshotAt != kNoCycle &&
+                         !hooks.snapshotPath.empty()) ||
+                        hooks.wallTimeoutSec > 0;
+    if (hooked) {
+        const std::string digest = snapshotDigest(cfg, workloads);
+        if (!hooks.restorePath.empty())
+            readSnapshotFile(hooks.restorePath, digest, sys);
+        if (hooks.snapshotAt != kNoCycle && !hooks.snapshotPath.empty())
+            sys.scheduleSnapshot(
+                hooks.snapshotAt,
+                [path = hooks.snapshotPath, digest](System& s,
+                                                    Cycle now) {
+                    writeSnapshotFile(path, digest, s, now);
+                });
+        if (hooks.wallTimeoutSec > 0) {
+            System::RunHook onTimeout;
+            if (!hooks.timeoutSnapshotPath.empty())
+                onTimeout = [path = hooks.timeoutSnapshotPath,
+                             digest](System& s, Cycle now) {
+                    writeSnapshotFile(path, digest, s, now);
+                };
+            sys.setWallClockDeadline(hooks.wallTimeoutSec,
+                                     std::move(onTimeout));
+        }
+    }
+
     sys.run();
 
     RunResult res;
@@ -301,9 +355,43 @@ printUsage(std::ostream& os)
           "(implies --telemetry)\n"
           "  --trace-out PATH        write Chrome trace-event JSON "
           "(implies --telemetry)\n"
+          "snapshots (DESIGN.md §11):\n"
+          "  --snapshot-at CYCLE     save a snapshot when the run "
+          "reaches CYCLE\n"
+          "  --snapshot-out PATH     snapshot file (default "
+          "sl_snapshot_WORKLOAD.bin)\n"
+          "  --restore-snapshot PATH restore from PATH before running\n"
+          "sweeps (resumable):\n"
+          "  --sweep                 run each workload as its own "
+          "single-core batch job\n"
+          "  --manifest PATH         JSONL job journal; re-invoking with "
+          "the same manifest\n"
+          "                          skips finished jobs (implies "
+          "--sweep)\n"
+          "  --job-timeout SEC       per-job wall-clock budget; hung "
+          "jobs snapshot then fail\n"
+          "  --retries N             retry failed sweep jobs up to N "
+          "times (implies --sweep)\n"
+          "fault injection:\n"
+          "  --fault-campaign        sweep the fault grid (bit flips, "
+          "dropped fills, DRAM\n"
+          "                          delays, lost requests, snapshot "
+          "corruption) and report\n"
+          "  --fault-lose-request R  drop downstream misses at rate R "
+          "(wedges the run;\n"
+          "                          pair with --job-timeout or a "
+          "watchdog)\n"
           "  --list-prefetchers      print registered prefetcher names "
           "and exit\n"
           "  --help                  this text\n";
+}
+
+/** First line of a (possibly multi-line) error message. */
+std::string
+firstLine(const std::string& s)
+{
+    const std::size_t nl = s.find('\n');
+    return nl == std::string::npos ? s : s.substr(0, nl) + " [...]";
 }
 
 void
@@ -313,6 +401,152 @@ printNames(std::ostream& os, const char* level, int mask)
     for (const auto& n : prefetcherRegistry().names(mask))
         os << " " << n;
     os << "\n";
+}
+
+/**
+ * --sweep: one single-core batch job per workload, optionally journalled
+ * to a manifest so an interrupted sweep resumes where it stopped.
+ * Prints per-job lines plus the ==JSON== document every bench emits.
+ */
+int
+runSweep(const RunConfig& cfg, const std::vector<std::string>& workloads,
+         const BatchOptions& opts)
+{
+    std::vector<ExperimentSpec> specs;
+    for (const auto& w : workloads) {
+        RunConfig c = cfg;
+        c.cores = 1;
+        specs.push_back({w, c, {w}});
+    }
+
+    BatchRunner runner(0, opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<JobResult> jobs = runner.run(specs);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+    bool all_ok = true;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const JobResult& j = jobs[i];
+        std::cout << "job " << specs[i].label << ": ";
+        if (j.ok && j.attempts == 0) {
+            std::cout << "ok (from manifest)\n";
+        } else if (j.ok) {
+            std::cout << "ok ipc=" << j.result.meanIpc();
+            if (j.attempts > 1)
+                std::cout << " (attempt " << j.attempts << ")";
+            std::cout << "\n";
+        } else {
+            all_ok = false;
+            std::cout << "FAILED [" << j.error->component() << "] after "
+                      << j.attempts << " attempt(s): "
+                      << firstLine(j.error->what()) << "\n";
+        }
+    }
+    std::cout << "==JSON==\n"
+              << batchJson("sweep", specs, jobs, runner.threads(), wall)
+              << "\n==END-JSON==\n";
+    return all_ok ? 0 : 1;
+}
+
+/**
+ * --fault-campaign: run the workloads under every FaultConfig kind plus
+ * a clean baseline, then probe snapshot-byte corruption end to end
+ * (save a deliberately corrupted snapshot, assert the restore-side CRC
+ * check rejects it). Graceful kinds must complete; lose_request may
+ * legitimately trip the watchdog -- what matters is that the failure is
+ * a *caught* SimError with a repro bundle, never a hang or a crash.
+ */
+int
+runFaultCampaign(const RunConfig& base,
+                 const std::vector<std::string>& workloads)
+{
+    std::vector<ExperimentSpec> specs;
+    const auto add = [&](const char* name, const RunConfig& c) {
+        specs.push_back({name, c, workloads});
+    };
+    add("none", base);
+    {
+        RunConfig c = base;
+        c.faults.metadataBitFlipRate = 1e-3;
+        add("metadata_bit_flip", c);
+    }
+    {
+        RunConfig c = base;
+        c.faults.dropPrefetchFillRate = 1e-3;
+        add("drop_prefetch_fill", c);
+    }
+    {
+        RunConfig c = base;
+        c.faults.dramDelayRate = 1e-3;
+        c.faults.dramDelayCycles = 200;
+        add("dram_delay", c);
+    }
+    {
+        // A lost request wedges its core; a tight watchdog window turns
+        // the wedge into a caught, journalable SimError quickly.
+        RunConfig c = base;
+        c.faults.loseRequestRate = 1e-4;
+        c.hardening.watchdogWindow = 100'000;
+        add("lose_request", c);
+    }
+
+    BatchRunner runner;
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<JobResult> jobs = runner.run(specs);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+    bool pass = true;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const JobResult& j = jobs[i];
+        const bool must_complete = specs[i].label != "lose_request";
+        std::cout << "fault " << specs[i].label << ": ";
+        if (j.ok) {
+            std::cout << "completed ipc=" << j.result.meanIpc()
+                      << " coverage=" << j.result.meanCoverage() << "\n";
+        } else {
+            std::cout << "caught [" << j.error->component()
+                      << "]: " << firstLine(j.error->what()) << "\n";
+            if (must_complete)
+                pass = false;
+        }
+    }
+
+    // Snapshot corruption: rate 1.0 flips a payload byte after the CRC
+    // is computed; the restore must reject the file with a diagnosable
+    // SimError, never load garbage state.
+    RunConfig sc = base;
+    sc.faults.snapshotCorruptRate = 1.0;
+    const std::string snapPath = "sl_snapshot_campaign.bin";
+    bool caught = false;
+    std::string verdict = "restore unexpectedly succeeded";
+    try {
+        RunHooks save;
+        save.snapshotAt = 5'000;
+        save.snapshotPath = snapPath;
+        runWorkloadsRaw(sc, workloads, save);
+        RunHooks load;
+        load.restorePath = snapPath;
+        runWorkloadsRaw(sc, workloads, load);
+    } catch (const SimError& err) {
+        caught = true;
+        verdict = "caught [" + err.component() +
+                  "]: " + firstLine(err.what());
+    }
+    std::remove(snapPath.c_str());
+    std::cout << "fault snapshot_corrupt: " << verdict << "\n";
+    if (!caught)
+        pass = false;
+
+    std::cout << "==JSON==\n"
+              << batchJson("fault_campaign", specs, jobs,
+                           runner.threads(), wall)
+              << "\n==END-JSON==\n";
+    std::cout << (pass ? "campaign PASS" : "campaign FAIL") << "\n";
+    return pass ? 0 : 1;
 }
 
 /** True when the prefetcher selection is known; complains otherwise. */
@@ -338,6 +572,10 @@ runnerMain(int argc, char** argv)
     unsigned cores = 0; // 0 = one per workload
     bool telemetry = false;
     std::string telemetry_out;
+    RunHooks hooks;
+    BatchOptions batch_opts;
+    bool sweep = false;
+    bool fault_campaign = false;
 
     // Flags taking a value read it from the next argv slot.
     auto value = [&](int& i, const char* flag) -> const char* {
@@ -400,6 +638,42 @@ runnerMain(int argc, char** argv)
                 return 2;
             telemetry = true;
             cfg.telemetry.tracePath = v;
+        } else if (arg == "--snapshot-at") {
+            if (!(v = value(i, "--snapshot-at")))
+                return 2;
+            hooks.snapshotAt = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--snapshot-out") {
+            if (!(v = value(i, "--snapshot-out")))
+                return 2;
+            hooks.snapshotPath = v;
+        } else if (arg == "--restore-snapshot") {
+            if (!(v = value(i, "--restore-snapshot")))
+                return 2;
+            hooks.restorePath = v;
+        } else if (arg == "--sweep") {
+            sweep = true;
+        } else if (arg == "--manifest") {
+            if (!(v = value(i, "--manifest")))
+                return 2;
+            sweep = true;
+            batch_opts.manifestPath = v;
+        } else if (arg == "--job-timeout") {
+            if (!(v = value(i, "--job-timeout")))
+                return 2;
+            batch_opts.jobTimeoutSec = std::strtod(v, nullptr);
+            hooks.wallTimeoutSec = batch_opts.jobTimeoutSec;
+        } else if (arg == "--retries") {
+            if (!(v = value(i, "--retries")))
+                return 2;
+            sweep = true;
+            batch_opts.maxRetries =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--fault-campaign") {
+            fault_campaign = true;
+        } else if (arg == "--fault-lose-request") {
+            if (!(v = value(i, "--fault-lose-request")))
+                return 2;
+            cfg.faults.loseRequestRate = std::strtod(v, nullptr);
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "sl_run: unknown option '" << arg << "'\n";
             printUsage(std::cerr);
@@ -448,8 +722,27 @@ runnerMain(int argc, char** argv)
         workloads.resize(cores, workloads.front());
     cfg.cores = cores;
 
+    // Every failure below -- SimError from the run, a bad output path,
+    // a rejected snapshot -- exits nonzero with a one-line diagnostic;
+    // SimErrors additionally leave a repro bundle behind.
     try {
-        const RunResult res = runWorkloads(cfg, workloads);
+        if (fault_campaign)
+            return runFaultCampaign(cfg, workloads);
+        if (sweep)
+            return runSweep(cfg, workloads, batch_opts);
+
+        if (hooks.snapshotAt != kNoCycle && hooks.snapshotPath.empty())
+            hooks.snapshotPath =
+                "sl_snapshot_" + workloads.front() + ".bin";
+
+        RunResult res;
+        try {
+            res = runWorkloadsRaw(cfg, workloads, hooks);
+        } catch (const SimError& err) {
+            if (std::ofstream out(reproBundlePath()); out)
+                out << formatReproBundle(cfg, workloads, err);
+            throw;
+        }
         for (std::size_t c = 0; c < res.cores.size(); ++c) {
             const CoreResult& cr = res.cores[c];
             std::cout << "core " << c << ": " << cr.workload
@@ -469,7 +762,12 @@ runnerMain(int argc, char** argv)
                           << "\n";
         }
     } catch (const SimError& err) {
-        std::cerr << "sl_run: " << err.what() << "\n";
+        std::cerr << "sl_run: error [" << err.component()
+                  << "]: " << firstLine(err.what())
+                  << " (repro bundle: " << reproBundlePath() << ")\n";
+        return 1;
+    } catch (const std::exception& e) {
+        std::cerr << "sl_run: error: " << firstLine(e.what()) << "\n";
         return 1;
     }
     return 0;

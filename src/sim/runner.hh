@@ -210,6 +210,42 @@ RunResult runWorkloadsRaw(const RunConfig& cfg,
                           const std::vector<std::string>& workloads);
 
 /**
+ * Per-invocation orchestration for one run. Deliberately NOT part of
+ * RunConfig: the snapshot config digest is computed over the RunConfig
+ * (+ workloads), and where a run saves/restores snapshots must not
+ * change what run it is — a restore invocation with different hook
+ * values must still match the save invocation's digest.
+ */
+struct RunHooks
+{
+    /** Save a snapshot to snapshotPath at this cycle (kNoCycle = off). */
+    Cycle snapshotAt = kNoCycle;
+    std::string snapshotPath;
+    /** Restore from this snapshot before running ("" = fresh run). */
+    std::string restorePath;
+    /** Abort with SimError("job_timeout") after this much wall clock
+     *  (0 = unlimited); timeoutSnapshotPath, when set, captures the hung
+     *  run's state first so it can be resumed for postmortem. */
+    double wallTimeoutSec = 0;
+    std::string timeoutSnapshotPath;
+};
+
+/** runWorkloadsRaw with snapshot/timeout orchestration attached. */
+RunResult runWorkloadsRaw(const RunConfig& cfg,
+                          const std::vector<std::string>& workloads,
+                          const RunHooks& hooks);
+
+/**
+ * The config-identity string stored in snapshot files: toJson(cfg) plus
+ * the workload list. Save and restore invocations must agree on it
+ * (same prefetchers, geometry, scale, seed, workloads) or the restore is
+ * rejected — restoring into a differently-built System would reinterpret
+ * the payload as garbage.
+ */
+std::string snapshotDigest(const RunConfig& cfg,
+                           const std::vector<std::string>& workloads);
+
+/**
  * The text serialized on a tripped run: everything needed to replay it
  * bit-identically (seed, workloads, trace scale, prefetcher selection,
  * fault config) plus the error's component/cycle/diagnostics. Exposed

@@ -217,7 +217,14 @@ System::~System() = default;
 void
 System::run(std::uint64_t max_cycles)
 {
-    Cycle cycle = 0;
+    Cycle cycle = resumeCycle_;
+    const bool deadlined = deadlineSeconds_ > 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(deadlined ? deadlineSeconds_
+                                                    : 0.0));
+    std::uint64_t iter = 0;
     // done() is monotonic, so cores that finished stay finished: the
     // all-done scan only walks the still-running suffix and exits on the
     // first unfinished core instead of polling every core every cycle.
@@ -231,6 +238,25 @@ System::run(std::uint64_t max_cycles)
         SL_CHECK_AT(cycle <= max_cycles, "system", cycle,
                     "exceeded cycle limit " << max_cycles << "\n"
                                             << diagnosticSnapshot(cycle));
+
+        // Between-cycles orchestration points. Both sit before any event
+        // for `cycle` runs, so the captured state is a clean cycle
+        // boundary; both are a single compare when unarmed.
+        if (cycle >= snapshotAt_) {
+            snapshotAt_ = kNoCycle; // disarm before the hook can throw
+            if (snapshotFn_)
+                snapshotFn_(*this, cycle);
+        }
+        if (deadlined && (++iter & 0x3fff) == 0 &&
+            std::chrono::steady_clock::now() >= deadline) {
+            if (timeoutFn_)
+                timeoutFn_(*this, cycle);
+            SL_CHECK_AT(false, "job_timeout", cycle,
+                        "wall-clock budget of " << deadlineSeconds_
+                                                << "s exhausted\n"
+                                                << diagnosticSnapshot(
+                                                       cycle));
+        }
 
         eq_.runUntil(cycle);
 

@@ -9,6 +9,8 @@
 #ifndef SL_SIM_SYSTEM_HH
 #define SL_SIM_SYSTEM_HH
 
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -159,6 +161,49 @@ class System
     /** The telemetry hub, or null when cfg.telemetry.enabled is false. */
     Telemetry* telemetry() { return telemetry_.get(); }
 
+    // --- checkpoint/restore hooks (src/sim/snapshot.cc) ---------------
+
+    /**
+     * Serialize (or restore) every component's dynamic state in
+     * construction order. Defined in snapshot.cc next to the component
+     * registry that backs @p ctx's pointer swizzling.
+     */
+    void serializeState(Serializer& s, const SnapshotCtx& ctx);
+
+    /** Cycle run() starts at; a snapshot restore installs its save point
+     *  here so the resumed loop continues exactly where it left off. */
+    void setResumeCycle(Cycle c) { resumeCycle_ = c; }
+    Cycle resumeCycle() const { return resumeCycle_; }
+
+    /** Callback fired by the run loop between cycles. */
+    using RunHook = std::function<void(System&, Cycle)>;
+
+    /**
+     * Arrange for @p fn to fire once, at the top of the first loop
+     * iteration with cycle >= at (a point where no fill is mid-flight:
+     * all events below `at` have drained and no core has stepped at
+     * `at`). Disarms itself after firing.
+     */
+    void
+    scheduleSnapshot(Cycle at, RunHook fn)
+    {
+        snapshotAt_ = at;
+        snapshotFn_ = std::move(fn);
+    }
+
+    /**
+     * Abort the run with SimError (component "job_timeout") once
+     * @p seconds of wall clock elapse. @p on_timeout, when non-null,
+     * fires first -- between cycles, so orchestration can snapshot the
+     * hung run before the batch layer kills and journals it.
+     */
+    void
+    setWallClockDeadline(double seconds, RunHook on_timeout = nullptr)
+    {
+        deadlineSeconds_ = seconds;
+        timeoutFn_ = std::move(on_timeout);
+    }
+
   private:
     SystemConfig cfg_;
     EventQueue eq_;
@@ -178,6 +223,13 @@ class System
     std::unique_ptr<CompositePartition> partition_;
     std::unique_ptr<InvariantAuditor> auditor_;
     std::unique_ptr<ProgressWatchdog> watchdog_;
+
+    // Run-loop orchestration (snapshot points, wall-clock budget).
+    Cycle resumeCycle_ = 0;
+    Cycle snapshotAt_ = kNoCycle;
+    RunHook snapshotFn_;
+    double deadlineSeconds_ = 0;
+    RunHook timeoutFn_;
 };
 
 } // namespace sl

@@ -19,6 +19,8 @@
 #include <bit>
 #include <cstdint>
 
+#include "common/serializer.hh"
+
 namespace sl
 {
 
@@ -97,6 +99,17 @@ class Histogram
                 return bucketLow(i);
         }
         return bucketLow(NBuckets - 1);
+    }
+
+    /** Snapshot bucket counts and the derived scalars. */
+    void
+    serializeState(Serializer& s)
+    {
+        s.marker(0x48495354, "histogram");
+        s.io(counts_);
+        s.io(sum_);
+        s.io(samples_);
+        s.io(max_);
     }
 
   private:

@@ -294,6 +294,27 @@ class IntervalSampler
 
     Cycle intervalCycles() const { return interval_; }
 
+    /** Snapshot the ring, previous counter totals, and arm state. The
+     *  source callback is reinstalled by the owning System. */
+    void
+    serializeState(Serializer& s)
+    {
+        s.marker(0x49535650, "interval_sampler");
+        s.io(nextSample_);
+        s.io(lastCycle_);
+        static_assert(std::is_trivially_copyable_v<CounterSnapshot> &&
+                      std::is_trivially_copyable_v<IntervalRecord>);
+        s.io(prev_);
+        s.io(ring_);
+        SL_CHECK(ring_.size() <= capacity_, "interval_sampler",
+                 "snapshot ring holds " << ring_.size()
+                 << " records but this sampler caps at " << capacity_);
+        s.io(head_);
+        s.io(sampled_);
+        s.io(mshrHigh_);
+        s.io(evqHigh_);
+    }
+
   private:
     static CounterSnapshot
     diff(const CounterSnapshot& a, const CounterSnapshot& b)
@@ -410,6 +431,31 @@ class Telemetry
      * SimError when a path cannot be opened.
      */
     void writeOutputs() const;
+
+    /** Snapshot the sampler, histograms, and incident log. */
+    void
+    serializeState(Serializer& s)
+    {
+        s.marker(0x54454c45, "telemetry");
+        sampler.serializeState(s);
+        loadToUse.serializeState(s);
+        dramLatency.serializeState(s);
+        fillToDemand.serializeState(s);
+        std::uint64_t n = incidents_.size();
+        s.io(n);
+        if (s.loading()) {
+            incidents_.clear();
+            incidents_.reserve(n);
+        }
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (s.loading())
+                incidents_.emplace_back();
+            Incident& inc = incidents_[i];
+            s.io(inc.cycle);
+            s.io(inc.kind);
+            s.io(inc.detail);
+        }
+    }
 
   private:
     TelemetryConfig cfg_;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/fault.hh"
+#include "common/serializer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -113,6 +114,31 @@ class PairwiseStore
 
     /** Audit size-counter and placement invariants; throws SimError. */
     void audit(Cycle now) const;
+
+    /** Snapshot the packed slots, partition size, reuse predictor, and
+     *  stats. Geometry (sets/maxWays/entriesPerBlock) is rebuilt from
+     *  params at construction and only cross-checked here. */
+    void
+    serializeState(Serializer& s)
+    {
+        s.marker(0x50574953, "pairwise_store");
+        std::uint64_t nslots = slots_.size();
+        s.io(nslots);
+        SL_CHECK(nslots == slots_.size(), "pairwise_store",
+                 "snapshot has " << nslots << " slots but this store is "
+                 "sized for " << slots_.size());
+        std::uint32_t w = ways_;
+        s.io(w);
+        SL_CHECK(w <= params_.maxWays, "pairwise_store",
+                 "snapshot partition size " << w << " exceeds maxWays "
+                 << params_.maxWays);
+        ways_ = w;
+        s.io(slots_);
+        s.io(liveEntries_);
+        s.io(reusePred_);
+        s.io(sampledHitsEpoch_);
+        stats_.serializeState(s);
+    }
 
   private:
     /**

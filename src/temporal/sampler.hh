@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serializer.hh"
 #include "common/types.hh"
 
 namespace sl
@@ -111,6 +112,23 @@ class LruStackSampler
     {
         std::fill(histogram_.begin(), histogram_.end(), 0);
         accesses_ = 0;
+    }
+
+    /** Snapshot the per-set LRU stacks, histogram, and access count.
+     *  Geometry comes from the constructor and is cross-checked only. */
+    void
+    serializeState(Serializer& s)
+    {
+        s.marker(0x4c525353, "lru_stack_sampler");
+        std::uint32_t n = static_cast<std::uint32_t>(stacks_.size());
+        s.io(n);
+        SL_CHECK(n == stacks_.size(), "lru_stack_sampler",
+                 "snapshot has " << n << " sampled sets but this sampler "
+                 "tracks " << stacks_.size());
+        for (auto& stack : stacks_)
+            s.io(stack);
+        s.io(histogram_);
+        s.io(accesses_);
     }
 
   private:

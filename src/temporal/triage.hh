@@ -13,8 +13,10 @@
 #ifndef SL_TEMPORAL_TRIAGE_HH
 #define SL_TEMPORAL_TRIAGE_HH
 
+#include <algorithm>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "prefetch/prefetcher.hh"
@@ -83,6 +85,46 @@ class TriagePrefetcher : public Prefetcher, public PartitionPolicy
             return 0;
         const StatGroup& s = store_->stats();
         return s.get("hits") + s.get("misses") + s.get("inserts");
+    }
+
+    void
+    serializeState(Serializer& s, const SnapshotCtx& ctx) override
+    {
+        (void)ctx;
+        serializeBaseState(s);
+        s.marker(0x54524947, "triage");
+        if (store_)
+            store_->serializeState(s);
+        // The idealised variant's unbounded map, in sorted key order so
+        // the payload is deterministic.
+        std::uint64_t n = unlimitedStore_.size();
+        s.io(n);
+        if (s.saving()) {
+            std::vector<std::pair<Addr, Addr>> sorted(
+                unlimitedStore_.begin(), unlimitedStore_.end());
+            std::sort(sorted.begin(), sorted.end());
+            for (auto& [k, v] : sorted) {
+                s.io(k);
+                s.io(v);
+            }
+        } else {
+            unlimitedStore_.clear();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                Addr k = 0, v = 0;
+                s.io(k);
+                s.io(v);
+                unlimitedStore_.emplace(k, v);
+            }
+        }
+        static_assert(std::is_trivially_copyable_v<TuEntry>);
+        s.io(tu_);
+        s.io(lut_.regions);
+        if (dataSampler_)
+            dataSampler_->serializeState(s);
+        s.io(accessesSinceResize_);
+        std::uint32_t cw = currentWays_;
+        s.io(cw);
+        currentWays_ = cw;
     }
 
   private:

@@ -103,6 +103,36 @@ class TriangelPrefetcher : public Prefetcher, public PartitionPolicy
         return ratio(stats_.get("useful_feedback"), stats_.get("issued"));
     }
 
+    void
+    serializeState(Serializer& s, const SnapshotCtx& ctx) override
+    {
+        (void)ctx;
+        serializeBaseState(s);
+        s.marker(0x5452494e, "triangel");
+        if (store_)
+            store_->serializeState(s);
+        static_assert(std::is_trivially_copyable_v<TuEntry> &&
+                      std::is_trivially_copyable_v<HsEntry> &&
+                      std::is_trivially_copyable_v<MrbEntry>);
+        s.io(tu_);
+        s.io(hs_);
+        s.io(scs_);
+        s.io(mrb_);
+        s.io(mrbTick_);
+        if (dataSampler_)
+            dataSampler_->serializeState(s);
+        s.io(accessesSinceResize_);
+        std::uint32_t cw = currentWays_;
+        s.io(cw);
+        currentWays_ = cw;
+        std::uint32_t shift = sampleShift_;
+        s.io(shift);
+        sampleShift_ = shift;
+        s.io(windowEvents_);
+        s.io(windowHsHits_);
+        s.io(windowHsInserts_);
+    }
+
   private:
     struct TuEntry
     {

@@ -206,6 +206,112 @@ TEST(MshrTableTest, EraseMidChainKeepsLaterEntriesFindable)
     EXPECT_THROW(t.erase(0x12345 << kBlockShift), SimError);
 }
 
+/** First @p n block-aligned addresses whose home slot is exactly
+ *  @p slot for a table of @p limit. */
+std::vector<Addr>
+blocksHomedAt(unsigned limit, std::uint32_t slot, std::size_t n)
+{
+    std::size_t cap = 8;
+    while (cap < 2 * static_cast<std::size_t>(limit))
+        cap <<= 1;
+    const std::uint32_t mask = static_cast<std::uint32_t>(cap - 1);
+    std::vector<Addr> out;
+    for (Addr block = 1; out.size() < n; ++block) {
+        const Addr addr = block << kBlockShift;
+        if ((static_cast<std::uint32_t>(mix64(addr)) & mask) ==
+            (slot & mask))
+            out.push_back(addr);
+    }
+    return out;
+}
+
+TEST(MshrTableTest, EraseAtProbeWrapBoundary)
+{
+    // A chain homed at the last slot wraps to slot 0; backward-shift
+    // deletion must compute home/hole distances cyclically or the
+    // wrapped tail gets orphaned. Exercise every erase position.
+    const std::uint32_t last = 15; // MshrTable(8) -> 16 slots
+    for (std::size_t victim = 0; victim < 3; ++victim) {
+        MshrTable t(8);
+        const auto blocks = blocksHomedAt(8, last, 3);
+        for (Addr a : blocks)
+            t.insert(a); // occupies slots 15, 0, 1
+        t.erase(blocks[victim]);
+        EXPECT_EQ(t.find(blocks[victim]), nullptr);
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+            if (i == victim)
+                continue;
+            Mshr* m = t.find(blocks[i]);
+            ASSERT_NE(m, nullptr) << "entry " << i << " lost after "
+                                  << "erasing entry " << victim;
+            EXPECT_EQ(m->addr, blocks[i]);
+        }
+        // Reinsert the victim: the chain is whole again.
+        t.insert(blocks[victim]);
+        for (Addr a : blocks)
+            EXPECT_NE(t.find(a), nullptr);
+    }
+}
+
+TEST(MshrTableTest, EraseWithMixedHomesAcrossWrap)
+{
+    // Interleave a chain homed at the last slot with one homed at 0:
+    // the wrapped tail of the first chain sits among entries whose home
+    // really is 0, so the cyclic distance test in erase() must keep the
+    // slot-0-homed entries where lookups expect them.
+    MshrTable t(8);
+    const auto tail = blocksHomedAt(8, 15, 2);
+    const auto zero = blocksHomedAt(8, 0, 2);
+    t.insert(tail[0]); // slot 15
+    t.insert(zero[0]); // slot 0 (its home)
+    t.insert(tail[1]); // slot 1 (wrapped past zero[0])
+    t.insert(zero[1]); // slot 2
+    t.erase(tail[0]);
+    for (Addr a : {zero[0], tail[1], zero[1]})
+        ASSERT_NE(t.find(a), nullptr) << std::hex << a;
+    t.erase(zero[0]);
+    for (Addr a : {tail[1], zero[1]})
+        ASSERT_NE(t.find(a), nullptr) << std::hex << a;
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(MshrTableTest, InsertAfterEraseRetainsWaiterCapacity)
+{
+    // The slot recycler (insert() and erase()) clears waiter vectors
+    // but never shrinks them, so the steady-state hot path stops
+    // allocating once every slot has seen its deepest waiter list.
+    MshrTable t(8);
+    const Addr a = 3 << kBlockShift;
+    Mshr& m = t.insert(a);
+    m.waiters.reserve(128);
+    const std::size_t cap = m.waiters.capacity();
+    ASSERT_GE(cap, 128u);
+    t.erase(a);
+    Mshr& again = t.insert(a);
+    EXPECT_TRUE(again.waiters.empty());
+    EXPECT_GE(again.waiters.capacity(), cap);
+}
+
+TEST(MshrTableTest, BackwardShiftMovesKeepWaiterCapacity)
+{
+    // Backward-shift relocation swaps whole Mshr slots, so a grown
+    // waiter vector must travel with its entry instead of being copied
+    // into a fresh allocation (or worse, left behind on the hole).
+    MshrTable t(8);
+    const auto blocks = collidingBlocks(8, 3);
+    for (Addr a : blocks)
+        t.insert(a);
+    t.find(blocks[1])->waiters.reserve(64);
+    t.find(blocks[2])->waiters.reserve(96);
+    t.erase(blocks[0]); // relocates blocks[1] and blocks[2]
+    EXPECT_GE(t.find(blocks[1])->waiters.capacity(), 64u);
+    EXPECT_GE(t.find(blocks[2])->waiters.capacity(), 96u);
+    // And the vacated slot keeps its capacity for the next insert that
+    // probes into it: inserting the erased key reuses the chain.
+    Mshr& back = t.insert(blocks[0]);
+    EXPECT_TRUE(back.waiters.empty());
+}
+
 TEST(MshrTableTest, ForEachVisitsExactlyLiveEntries)
 {
     MshrTable t(8);
