@@ -53,13 +53,14 @@ reps()
     return 3;
 }
 
-/** One timed single-core run; the System is rebuilt every repetition so
- *  each measurement pays the same cold-structure costs. @p telemetry
- *  (optional) instruments the run — used by the overhead probe below. */
+/** One timed run (the workload is replicated across @p cores); the
+ *  System is rebuilt every repetition so each measurement pays the same
+ *  cold-structure costs. @p telemetry (optional) instruments the run —
+ *  used by the overhead probe below. */
 Cell
 timeCell(const std::string& config, const std::string& l2,
          const std::string& workload, double scale, unsigned repetitions,
-         const TelemetryConfig* telemetry = nullptr)
+         const TelemetryConfig* telemetry = nullptr, unsigned cores = 1)
 {
     PrefetcherRegistry& reg = prefetcherRegistry();
     const PrefetcherTuning tuning; // registry defaults for every family
@@ -68,15 +69,18 @@ timeCell(const std::string& config, const std::string& l2,
     cell.config = config;
     cell.workload = workload;
     for (unsigned r = 0; r < repetitions; ++r) {
-        TracePtr trace = getTrace(workload, scale, /*seed=*/1);
+        std::vector<TracePtr> traces;
+        for (unsigned c = 0; c < cores; ++c)
+            traces.push_back(getTrace(workload, scale, /*seed=*/1));
         SystemConfig sc;
+        sc.cores = cores;
         sc.l1dPrefetcher =
             reg.make("stride", PrefetcherRegistry::L1, tuning);
         sc.l2Prefetcher = reg.make(l2, PrefetcherRegistry::L2, tuning);
         if (telemetry)
             sc.telemetry = *telemetry;
 
-        System sys(sc, {trace});
+        System sys(sc, std::move(traces));
         const auto t0 = std::chrono::steady_clock::now();
         sys.run();
         const double wall = std::chrono::duration<double>(
@@ -196,6 +200,31 @@ main()
             ",\"retired_mips\":" + sl::jsonNumber(cfg_mips) +
             ",\"metadata_ops_per_sec\":" +
             sl::jsonNumber(mops(cfg_meta, cfg_wall)) + "}");
+    }
+
+    // Multi-core cost probe: the shared memory system (DRAM scheduler,
+    // LLC arbiter, pressure probe) only runs when cores > 1, so its
+    // simulation cost is invisible to the single-core matrix. Two 2-core
+    // cells pin it down: spec06_mcf replicated across both cores, with
+    // and without the L2 prefetcher.
+    std::printf("\n-- 2-core cells (spec06_mcf x2, shared LLC/DRAM) --\n");
+    for (const auto* l2 : {"streamline", "none"}) {
+        const Cell c =
+            timeCell(std::string("2core_") + l2, l2, "spec06_mcf", scale,
+                     repetitions, nullptr, /*cores=*/2);
+        std::printf("%-18s %-12s %12.1f %12.1f %10.3f %12.0f %10.1f\n",
+                    c.config.c_str(), c.workload.c_str(),
+                    c.simCycles / 1e6, c.retired / 1e6, c.wallSeconds,
+                    kcps(c), mips(c));
+        JsonReport::instance().note(
+            "{\"kind\":\"simspeed_multicore\",\"config\":\"" + c.config +
+            "\",\"workload\":\"" + c.workload +
+            "\",\"cores\":2"
+            ",\"sim_cycles\":" + std::to_string(c.simCycles) +
+            ",\"retired_instructions\":" + std::to_string(c.retired) +
+            ",\"wall_seconds\":" + sl::jsonNumber(c.wallSeconds) +
+            ",\"sim_kcycles_per_sec\":" + sl::jsonNumber(kcps(c)) +
+            ",\"retired_mips\":" + sl::jsonNumber(mips(c)) + "}");
     }
 
     // Telemetry overhead probe: the streamline/spec06_mcf cell again with

@@ -8,6 +8,7 @@
 #   scripts/check.sh simspeed   # simulator-speed gate (fails <0.98x baseline)
 #   scripts/check.sh telemetry  # instrumented run + export validation
 #   scripts/check.sh resilience # hang-timeout kill + manifest resume
+#   scripts/check.sh multicore  # 2-core ASan smoke + single-core digest gate
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -75,6 +76,7 @@ doc = json.loads(body)
 configs = {n["config"]: n for n in doc["notes"]
            if n["kind"] == "simspeed_config"}
 cells = [n for n in doc["notes"] if n["kind"] == "simspeed_cell"]
+mc = [n for n in doc["notes"] if n["kind"] == "simspeed_multicore"]
 tele = [n for n in doc["notes"] if n["kind"] == "simspeed_telemetry"]
 assert configs, "no simspeed_config notes in bench output"
 assert cells, "no simspeed_cell notes in bench output"
@@ -86,12 +88,16 @@ except (FileNotFoundError, json.JSONDecodeError):
     snap = {}
 prev = snap.get("current", {}).get("kcycles_per_sec", {})
 prev_cells = snap.get("current", {}).get("cell_kcycles_per_sec", {})
+prev_mc = snap.get("current", {}).get("multicore_kcycles_per_sec", {})
 prev_workloads = snap.get("current", {}).get("workloads", [])
 cur = {c: n["sim_kcycles_per_sec"] for c, n in configs.items()}
 cur_cells = {c["config"]: {} for c in cells}
 for c in cells:
     cur_cells[c["config"]][c["workload"]] = c["sim_kcycles_per_sec"]
 cur_workloads = sorted({c["workload"] for c in cells})
+# 2-core cells exercise the shared-memory path (scheduled DRAM, LLC
+# arbitration, pressure probe); tracked per config like 1-core cells.
+cur_mc = {n["config"]: n["sim_kcycles_per_sec"] for n in mc}
 snap["current"] = {
     "scale": float(text.split("scale=")[1].split()[0]),
     "workloads": cur_workloads,
@@ -100,6 +106,7 @@ snap["current"] = {
     "metadata_ops_per_sec": {c: n.get("metadata_ops_per_sec", 0)
                              for c, n in configs.items()},
     "cell_kcycles_per_sec": cur_cells,
+    "multicore_kcycles_per_sec": cur_mc,
     "telemetry": {
         "off_kcycles_per_sec": tele[0]["off_kcycles_per_sec"],
         "on_kcycles_per_sec": tele[0]["on_kcycles_per_sec"],
@@ -122,6 +129,11 @@ for c, by_wl in cur_cells.items():
             failures.append(f"cell '{c}/{w}': {kcps:.0f} kc/s vs "
                             f"baseline {base:.0f} kc/s "
                             f"({kcps / base:.2f}x)")
+for c, kcps in cur_mc.items():
+    base = prev_mc.get(c, 0)
+    if base > 0 and kcps < FLOOR * base:
+        failures.append(f"multicore '{c}': {kcps:.0f} kc/s vs baseline "
+                        f"{base:.0f} kc/s ({kcps / base:.2f}x)")
 json.dump(snap, open(path, "w"), indent=2, sort_keys=True)
 print(f"simspeed snapshot -> {path}: " +
       ", ".join(f"{c}={v:.0f}kc/s" for c, v in sorted(cur.items())))
@@ -225,21 +237,48 @@ print(f"telemetry ok: {len(rows)} intervals, {len(trace)} trace events")
 EOF
 }
 
+# Multicore stage: the shared memory system (per-channel DRAM scheduler,
+# LLC arbiter with MSHR quotas, MemPressure prefetch demotion) only
+# exists when cores > 1 and must be inert otherwise. Two assertions:
+# a 2-core mix under ASan+UBSan shakes memory errors out of the new
+# queue/arbiter/pressure paths, and the golden-digest oracle proves the
+# single-core stat digests stayed bit-identical through the refactor.
+multicore() {
+    local dir="$1" sandir="$2"
+    echo "== multicore: 2-core ASan smoke + 1-core digest gate =="
+    cmake --build "${sandir}" --target sl_run -j
+    "${sandir}/src/sim/sl_run" --l2 streamline --scale 0.05 \
+        --mix spec06_mcf,gap_bfs > "${sandir}/multicore_smoke.out"
+    grep -q 'core 0: spec06_mcf ipc=' "${sandir}/multicore_smoke.out"
+    grep -q 'core 1: gap_bfs ipc=' "${sandir}/multicore_smoke.out"
+    echo "2-core ASan smoke mix green"
+    cmake --build "${dir}" --target sl_tests -j
+    "${dir}/tests/sl_tests" --gtest_brief=1 \
+        --gtest_filter='MetadataFastPathDeterminism.MatchesPreRefactorGoldenStats'
+    echo "single-core digests bit-identical to the golden oracle"
+}
+
 case "${MODE}" in
   plain)    run_mode plain build; bench_smoke build; resilience build ;;
   sanitize) run_mode asan+ubsan build-asan -DSL_SANITIZE=ON ;;
   simspeed) cmake -B build -S .; simspeed build ;;
   telemetry) cmake -B build -S .; telemetry build ;;
   resilience) cmake -B build -S .; resilience build ;;
+  multicore)
+    cmake -B build -S .
+    cmake -B build-asan -S . -DSL_SANITIZE=ON
+    multicore build build-asan
+    ;;
   all)
     run_mode plain build
     bench_smoke build
     telemetry build
     resilience build
     run_mode asan+ubsan build-asan -DSL_SANITIZE=ON
+    multicore build build-asan
     simspeed build
     ;;
-  *) echo "usage: $0 [plain|sanitize|simspeed|telemetry|resilience|all]" >&2
+  *) echo "usage: $0 [plain|sanitize|simspeed|telemetry|resilience|multicore|all]" >&2
      exit 2 ;;
 esac
 

@@ -1,5 +1,7 @@
 #include "cache/cache.hh"
 
+#include <algorithm>
+
 #include "telemetry/telemetry.hh"
 
 namespace sl
@@ -94,6 +96,16 @@ Cache::Cache(const CacheParams& params, EventQueue& eq, MemLevel* next,
                "cache set count must be a nonzero power of two, got "
                    << numSets_ << " (size " << params_.sizeBytes << "B / "
                    << params_.ways << " ways)");
+    if (params_.arbCores > 0) {
+        SL_REQUIRE(params_.arbCores <= params_.mshrs, comp,
+                   "cannot reserve MSHRs for " << params_.arbCores
+                       << " cores out of only " << params_.mshrs);
+        corePortTime_.resize(params_.arbCores, 0);
+        corePortCount_.resize(params_.arbCores, 0);
+        perCorePorts_ = std::max(1u, params_.ports / params_.arbCores);
+        mshrByCore_.resize(params_.arbCores, 0);
+        mshrQuota_ = params_.mshrs / params_.arbCores;
+    }
 }
 
 // Requests still parked in MSHR waiter lists at teardown are abandoned,
@@ -142,6 +154,38 @@ Cache::reservePort(Cycle now)
 }
 
 unsigned
+Cache::arbIndex(int core) const
+{
+    if (core < 0)
+        return 0;
+    const unsigned c = static_cast<unsigned>(core);
+    return c < params_.arbCores ? c : params_.arbCores - 1;
+}
+
+Cycle
+Cache::reservePortFor(int core, Cycle now)
+{
+    if (params_.arbCores == 0)
+        return reservePort(now);
+    // Same accounting as reservePort, but on the core's private lane: a
+    // storm of retries from one core only pushes that core's port time.
+    const unsigned c = arbIndex(core);
+    Cycle& t = corePortTime_[c];
+    unsigned& n = corePortCount_[c];
+    if (now < t)
+        now = t;
+    if (now > t) {
+        t = now;
+        n = 0;
+    }
+    if (++n >= perCorePorts_) {
+        t = now + 1;
+        n = 0;
+    }
+    return now;
+}
+
+unsigned
 Cache::reservedWays(std::uint32_t set) const
 {
     if (!partition_)
@@ -154,7 +198,7 @@ void
 Cache::access(MemRequest* req, Cycle now)
 {
     req->addr = blockAlign(req->addr);
-    handleAt(req, reservePort(now));
+    handleAt(req, reservePortFor(req->coreId, now));
 }
 
 void
@@ -169,7 +213,7 @@ Cache::handleAt(MemRequest* req, Cycle start)
             b->dirty = true;
             b->lru = ++lruTick_;
         } else {
-            installFill(req->addr, false, false, true, start);
+            installFill(req->addr, false, false, true, req->coreId, start);
         }
         disposeRequest(req);
         return;
@@ -265,9 +309,16 @@ Cache::handleAt(MemRequest* req, Cycle start)
         return;
     }
 
-    if (mshrs_.full()) {
-        // Structural stall: retry a few cycles later.
+    const bool quota_blocked =
+        params_.arbCores > 0 &&
+        mshrByCore_[arbIndex(req->coreId)] >= mshrQuota_;
+    if (mshrs_.full() || quota_blocked) {
+        // Structural stall: retry a few cycles later. Under arbitration
+        // a core that exhausted its MSHR reservation stalls alone while
+        // its siblings keep allocating from their own quotas.
         ++ctr_.mshrRetries;
+        if (quota_blocked && !mshrs_.full())
+            ++stats_.counter("mshr_quota_stalls");
         req->retried = true;
         eq_.schedule(start + 4,
                      EventCallback::make(EventKind::Retry,
@@ -278,6 +329,10 @@ Cache::handleAt(MemRequest* req, Cycle start)
     Mshr& m = mshrs_.insert(req->addr);
     m.prefetchOnly = !demand;
     m.prefetchOriginHere = !demand && req->origin == this;
+    if (params_.arbCores > 0) {
+        m.allocCore = static_cast<std::int32_t>(arbIndex(req->coreId));
+        ++mshrByCore_[static_cast<unsigned>(m.allocCore)];
+    }
     if (demand || req->client)
         m.waiters.push_back(req);
 
@@ -327,6 +382,14 @@ Cache::requestDone(const MemRequest& req, Cycle now)
     const bool prefetch_only = m->prefetchOnly;
     const bool demand_merged = m->demandMerged;
     const bool origin_here = m->prefetchOriginHere;
+    if (params_.arbCores > 0) {
+        const unsigned qc = static_cast<unsigned>(m->allocCore);
+        SL_CHECK_AT(qc < mshrByCore_.size() && mshrByCore_[qc] > 0,
+                    params_.name.c_str(), now,
+                    "MSHR quota accounting underflow for core "
+                        << m->allocCore);
+        --mshrByCore_[qc];
+    }
     // Steal the waiter list into the reusable member (swap keeps both
     // vectors' capacities alive), then free the MSHR before installing:
     // the fill path must see this miss as resolved.
@@ -354,7 +417,8 @@ Cache::requestDone(const MemRequest& req, Cycle now)
                             params_.name + " lost a prefetch fill "
                                            "(injected fault)");
     } else
-        installFill(req.addr, mark_prefetched, origin_here, store, now);
+        installFill(req.addr, mark_prefetched, origin_here, store,
+                    req.coreId, now);
     if (prefetch_only && demand_merged && origin_here) {
         // The prefetch fetched data a demand wanted before arrival.
         ++ctr_.prefetchUseful;
@@ -366,7 +430,7 @@ Cache::requestDone(const MemRequest& req, Cycle now)
 
 void
 Cache::installFill(Addr addr, bool prefetched, bool origin_here,
-                   bool store, Cycle now)
+                   bool store, std::int32_t core, Cycle now)
 {
     const std::uint32_t set = setIndex(addr);
     const unsigned reserved = reservedWays(set);
@@ -394,6 +458,10 @@ Cache::installFill(Addr addr, bool prefetched, bool origin_here,
             MemRequest* wb = pool_->acquire();
             wb->addr = victim->tag << kBlockShift;
             wb->kind = ReqKind::Writeback;
+            // Charge the writeback to the core whose fill evicted the
+            // victim so the DRAM scheduler's per-core accounting and
+            // the downstream arbiter see a complete core tag chain.
+            wb->coreId = core;
             next_->access(wb, now);
         }
     }
@@ -422,6 +490,13 @@ Cache::respond(MemRequest* req, Cycle when)
 void
 Cache::issuePrefetch(Addr addr, PC pc, int core_id, Cycle now)
 {
+    if (pressure_ && !pressure_->admitPrefetch(now)) {
+        // Memory system saturated: the prefetch is a hint, shed it
+        // before it costs an MSHR, a downstream slot, and DRAM bandwidth
+        // a demand miss needs more.
+        ++stats_.counter("prefetch_dropped_pressure");
+        return;
+    }
     MemRequest* req = pool_->acquire();
     req->addr = blockAlign(addr);
     req->pc = pc;
@@ -555,7 +630,29 @@ Cache::serializeState(Serializer& s, const SnapshotCtx& ctx)
     outstandingDownstream_ = static_cast<std::size_t>(outstanding);
     s.io(portTime_);
     s.io(portCount_);
+    if (params_.arbCores > 0) {
+        s.io(corePortTime_);
+        s.io(corePortCount_);
+        SL_CHECK(corePortTime_.size() == params_.arbCores &&
+                     corePortCount_.size() == params_.arbCores,
+                 comp, "snapshot arbiter lane count does not match this "
+                       "cache's " << params_.arbCores << " cores");
+    }
     mshrs_.serializeState(s, ctx);
+    if (s.loading() && params_.arbCores > 0) {
+        // Quota accounting is derived state: recount from the restored
+        // table instead of trusting (and having to cross-check) a
+        // serialized copy.
+        std::fill(mshrByCore_.begin(), mshrByCore_.end(), 0u);
+        mshrs_.forEach([&](const Mshr& m) {
+            const unsigned qc = static_cast<unsigned>(m.allocCore);
+            SL_CHECK(qc < mshrByCore_.size(), comp,
+                     "restored MSHR charged to core " << m.allocCore
+                         << " but this cache arbitrates "
+                         << params_.arbCores);
+            ++mshrByCore_[qc];
+        });
+    }
     stats_.serializeState(s);
 }
 

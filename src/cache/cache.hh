@@ -71,6 +71,29 @@ class PartitionPolicy
     virtual unsigned reservedWays(std::uint32_t set) const = 0;
 };
 
+/**
+ * Shared-memory-system congestion probe consulted at the prefetch issue
+ * path. Declared here (not in sim/) so the cache layer needs no upward
+ * dependency; the concrete MemPressure lives in sim/mem_pressure.hh and
+ * reads DRAM queue depth plus LLC MSHR occupancy.
+ */
+class PressureSignal
+{
+  public:
+    virtual ~PressureSignal() = default;
+
+    /** False = the memory system is saturated, drop this prefetch. May
+     *  admit a deterministic fraction under moderate pressure
+     *  (down-degreeing). */
+    virtual bool admitPrefetch(Cycle now) = 0;
+
+    /** Instantaneous congestion level: 0 calm, 1 elevated, 2 saturated.
+     *  Temporal prefetchers sample this into their partition-sizing
+     *  epochs so metadata capacity shrinks when the shared LLC/DRAM are
+     *  contended (capacity a co-runner's demand misses would use). */
+    virtual unsigned level() const = 0;
+};
+
 /** Static cache geometry and timing. */
 struct CacheParams
 {
@@ -80,6 +103,13 @@ struct CacheParams
     unsigned latency = 10;   //!< cycles from access to data on a hit
     unsigned mshrs = 16;
     unsigned ports = 1;      //!< accesses accepted per cycle
+
+    /** Cores sharing this cache through the fair arbiter. 0 (default)
+     *  keeps the shared-port model bit-identical to pre-arbiter builds;
+     *  > 0 splits ports into per-core request ports and reserves
+     *  mshrs / arbCores MSHRs per core so one core's retry storm cannot
+     *  starve its siblings (multi-core LLC only). */
+    unsigned arbCores = 0;
 };
 
 /**
@@ -120,14 +150,23 @@ class Cache : public MemLevel, public RequestClient
     /** Attach the system's telemetry hub (null = probes disabled). */
     void setTelemetry(Telemetry* t) { tele_ = t; }
 
+    /** Attach the memory-pressure probe gating prefetch issue (null =
+     *  always admit; single-core systems never attach one). */
+    void setPressure(PressureSignal* p) { pressure_ = p; }
+
     /**
      * Issue a prefetch into this cache for @p addr. Dropped when already
-     * resident or in flight. @p now may be in the future (scheduled).
+     * resident or in flight, or when the attached PressureSignal reports
+     * memory-system saturation. @p now may be in the future (scheduled).
      */
     void issuePrefetch(Addr addr, PC pc, int core_id, Cycle now);
 
     /** Re-present @p r after an MSHR stall (EventKind::Retry target). */
-    void retryNow(MemRequest* r, Cycle now) { handleAt(r, reservePort(now)); }
+    void
+    retryNow(MemRequest* r, Cycle now)
+    {
+        handleAt(r, reservePortFor(r->coreId, now));
+    }
 
     /** Hand @p down to the next level (EventKind::Forward target). */
     void forwardNow(MemRequest* down, Cycle now) { next_->access(down, now); }
@@ -206,9 +245,14 @@ class Cache : public MemLevel, public RequestClient
     std::uint32_t setIndex(Addr addr) const;
     Block* findBlock(Addr addr);
     Cycle reservePort(Cycle now);
+    /** Arbitrated port reservation: @p core's private request port when
+     *  arbCores > 0, else exactly reservePort(). */
+    Cycle reservePortFor(int core, Cycle now);
+    /** @p core clamped to a valid arbiter index ([0, arbCores)). */
+    unsigned arbIndex(int core) const;
     void handleAt(MemRequest* req, Cycle start);
     void installFill(Addr addr, bool prefetched, bool origin_here,
-                     bool store, Cycle now);
+                     bool store, std::int32_t core, Cycle now);
     void respond(MemRequest* req, Cycle when);
     unsigned reservedWays(std::uint32_t set) const;
 
@@ -219,6 +263,7 @@ class Cache : public MemLevel, public RequestClient
     const PartitionPolicy* partition_ = nullptr;
     FaultInjector* faults_ = nullptr;
     Telemetry* tele_ = nullptr;
+    PressureSignal* pressure_ = nullptr;
 
     /** Private arena backing pool_ when none was passed in. */
     std::unique_ptr<RequestPool> ownPool_;
@@ -249,6 +294,18 @@ class Cache : public MemLevel, public RequestClient
 
     Cycle portTime_ = 0;
     unsigned portCount_ = 0;
+
+    // ---- fair-arbiter state (sized only when params_.arbCores > 0) ----
+    /** Per-core request-port accounting (mirrors portTime_/portCount_
+     *  but one lane per core; metadata traffic stays on the shared
+     *  portTime_ pool — it models the partition's own port). */
+    std::vector<Cycle> corePortTime_;
+    std::vector<unsigned> corePortCount_;
+    unsigned perCorePorts_ = 0;
+    /** Live MSHR allocations charged to each core (quota accounting;
+     *  rebuilt from the table on snapshot load). */
+    std::vector<std::uint32_t> mshrByCore_;
+    unsigned mshrQuota_ = 0;
 
     StatGroup stats_;
 

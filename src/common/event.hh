@@ -46,6 +46,7 @@ enum class EventKind : std::uint8_t
     Forward,       //!< comp = Cache* (forwarder), a = MemRequest*
     Respond,       //!< comp unused, a = MemRequest*
     PrefetchIssue, //!< comp = Cache*, a = Addr, pc, core
+    DramTick,      //!< comp = Dram*, a = channel index (literal)
 };
 
 /** Plain-data capture for a tagged event. Fits EventCallback's buffer. */
@@ -58,14 +59,16 @@ struct EventDesc
 };
 
 /** Per-kind invoker entry points, defined next to the component logic
- *  they re-enter (cache.cc). Signatures match EventCallback::invoke_:
- *  the void* is the callback's capture buffer holding an EventDesc. */
+ *  they re-enter (cache.cc, dram.cc). Signatures match
+ *  EventCallback::invoke_: the void* is the callback's capture buffer
+ *  holding an EventDesc. */
 namespace event_invoke
 {
 void retry(void* desc, Cycle now);
 void forward(void* desc, Cycle now);
 void respond(void* desc, Cycle now);
 void prefetchIssue(void* desc, Cycle now);
+void dramTick(void* desc, Cycle now);
 } // namespace event_invoke
 
 /**
@@ -131,6 +134,9 @@ class EventCallback
             break;
         case EventKind::PrefetchIssue:
             cb.invoke_ = &event_invoke::prefetchIssue;
+            break;
+        case EventKind::DramTick:
+            cb.invoke_ = &event_invoke::dramTick;
             break;
         case EventKind::Generic:
             SL_CHECK(false, "event",

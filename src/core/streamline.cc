@@ -45,8 +45,13 @@ StreamlinePrefetcher::attach(Cache* owner, Cache* llc, EventQueue* eq,
     } else if (cfg_.fixedDen > 0) {
         store_->setAllocation(cfg_.fixedDen, cfg_.fixedWays);
     } else {
-        // UADP starts at the half-size partition.
-        store_->setAllocation(2, cfg_.metaWaysPerSet);
+        // UADP starts at the half-size partition -- except on a shared
+        // LLC (live pressure probe), where the store starts released and
+        // must *earn* capacity through a utility epoch: a cycle-0 claim
+        // can evict a co-runner's LLC-resident working set before the
+        // first pressure epoch ever completes, and refetching it through
+        // contended DRAM may never finish.
+        store_->setAllocation(pressure_ ? 0 : 2, cfg_.metaWaysPerSet);
     }
 }
 
@@ -100,7 +105,10 @@ StreamlinePrefetcher::onAccess(const AccessInfo& info)
         uadp_->onPrefetchUseful();
     }
 
-    // Feed the utility-aware partitioner with the L2-miss data stream.
+    // Feed the utility-aware partitioner with the L2-miss data stream,
+    // and sample shared-memory pressure into the same epoch (no-op on
+    // single-core systems, where the probe is null).
+    samplePressure();
     uadp_->onDataAccess(
         static_cast<std::uint32_t>(block % metadataSets()), block);
 
@@ -113,10 +121,61 @@ StreamlinePrefetcher::onAccess(const AccessInfo& info)
     trainOn(tu, block, info.cycle);
     issuePrefetches(tu, block, info.cycle);
 
-    // Dynamic partitioning epoch (§IV-E4).
+    // Dynamic partitioning epoch (§IV-E4). Under shared-memory pressure
+    // the utility comparison is no longer local: LLC ways held for
+    // metadata are capacity a co-runner's demand stream would use, so a
+    // mostly-elevated epoch halves the chosen allocation and a
+    // mostly-saturated one returns the ways to data entirely.
     if (!cfg_.ideal && cfg_.fixedDen == 0 && uadp_->shouldResize()) {
-        const unsigned den = uadp_->pickDenominator();
+        unsigned den = uadp_->pickDenominator();
+        switch (pressureDemotions()) {
+        case 1:
+            den = den == 0 ? 0 : den * 2; // full->half, half->quarter
+            break;
+        case 2:
+            den = 0;
+            ++stats_.counter("pressure_deallocations");
+            if (store_->allocationDen() != 0)
+                notePressureRelease();
+            break;
+        default:
+            break;
+        }
+        // Growth hysteresis: UADP may only enlarge the allocation after
+        // several calm pressure epochs (allocated fraction is 1/den, 0
+        // when off), breaking the shrink/drain/regrow limit cycle.
+        const unsigned cur_den = store_->allocationDen();
+        const auto frac = [](unsigned d) { return d ? 1.0 / d : 0.0; };
+        if (pressureRecentlyHot() && frac(den) > frac(cur_den))
+            den = cur_den;
         applyAllocation(den, cfg_.metaWaysPerSet, info.cycle);
+    } else if (!cfg_.ideal && cfg_.fixedDen == 0 && pressureEpochReady()) {
+        // Fast path between UADP epochs: a core whose miss stream is too
+        // thin to ever finish a 2^15-access utility epoch still pins its
+        // initial metadata allocation, so demote from the store's current
+        // denominator on the pressure sample alone.
+        const unsigned cur = store_->allocationDen();
+        switch (pressureDemotions()) {
+        case 1:
+            // Ratchet: half -> quarter -> released. A second consecutive
+            // elevated epoch means the quarter allocation is still
+            // capacity the co-runners need more than we do.
+            if (cur != 0) {
+                if (cur >= 4)
+                    notePressureRelease();
+                applyAllocation(cur >= 4 ? 0 : cur * 2,
+                                cfg_.metaWaysPerSet, info.cycle);
+            }
+            break;
+        case 2:
+            ++stats_.counter("pressure_deallocations");
+            if (cur != 0)
+                notePressureRelease();
+            applyAllocation(0, cfg_.metaWaysPerSet, info.cycle);
+            break;
+        default:
+            break;
+        }
     }
 }
 
@@ -235,7 +294,8 @@ StreamlinePrefetcher::writeEntry(TuEntry& tu, const StreamEntry& e,
         out = store_->insert(realigned, tu.pc);
         if (out != InsertOutcome::Filtered) {
             ++stats_.counter("realign_success");
-            if (out != InsertOutcome::Bypassed && !cfg_.ideal)
+            if (out != InsertOutcome::Bypassed && !cfg_.ideal &&
+                !released())
                 llc_->metadataAccess(true, now);
             store_->sampleCorrelation(realigned.trigger,
                                       realigned.targets[0], tu.pc);
@@ -247,7 +307,7 @@ StreamlinePrefetcher::writeEntry(TuEntry& tu, const StreamEntry& e,
         // One LLC write per completed stream entry -- the 4x traffic
         // reduction over pairwise formats (§IV-A). Bypassed entries are
         // still sampled (the sampler is how bypass decisions improve).
-        if (out != InsertOutcome::Bypassed && !cfg_.ideal)
+        if (out != InsertOutcome::Bypassed && !cfg_.ideal && !released())
             llc_->metadataAccess(true, now);
         store_->sampleCorrelation(e.trigger, e.targets[0], tu.pc);
     }
@@ -287,6 +347,12 @@ StreamlinePrefetcher::issuePrefetches(TuEntry& tu, Addr block, Cycle now)
 {
     const unsigned degree =
         cfg_.degreeControl ? tu.degree : cfg_.maxDegree;
+    // A released store (multi-core, under pressure) walks the chain for
+    // the utility measurement but issues nothing: its only live state is
+    // the sampled-set shadow plus the per-PC buffer, and prefetching
+    // from that residue is almost all pollution the contended memory
+    // system cannot absorb.
+    const bool suppress = released();
     unsigned issued = 0;
     Addr cursor = block;
     Cycle t = now;
@@ -310,8 +376,11 @@ StreamlinePrefetcher::issuePrefetches(TuEntry& tu, Addr block, Cycle now)
                 break;
             }
             // Metadata read from the LLC partition (§IV-E7 step 3).
-            t = cfg_.ideal ? t + llc_->latency()
-                           : llc_->metadataAccess(false, t);
+            // A released store's sampled sets read as shadow tags at
+            // fixed latency -- no shared LLC port traffic.
+            t = cfg_.ideal || released()
+                    ? t + llc_->latency()
+                    : llc_->metadataAccess(false, t);
             ++tu.epochInsertions;
             auto fetched = store_->lookupAt(ref, cursor);
             if (!fetched) {
@@ -341,8 +410,10 @@ StreamlinePrefetcher::issuePrefetches(TuEntry& tu, Addr block, Cycle now)
         for (unsigned i = static_cast<unsigned>(pos);
              i < entry->length && issued < degree; ++i) {
             const Addr target = entry->targets[i];
-            prefetch(target << kBlockShift, tu.pc, t);
-            uadp_->onPrefetchIssued();
+            if (!suppress) {
+                prefetch(target << kBlockShift, tu.pc, t);
+                uadp_->onPrefetchIssued();
+            }
             ++issued;
             cursor = target;
         }
@@ -352,7 +423,8 @@ StreamlinePrefetcher::issuePrefetches(TuEntry& tu, Addr block, Cycle now)
             break; // no forward progress possible
     }
 
-    degreeIssuedCtr_ += issued;
+    if (!suppress)
+        degreeIssuedCtr_ += issued;
 }
 
 void

@@ -8,6 +8,22 @@
 namespace sl
 {
 
+// Tagged-event entry point for the channel scheduler (see EventKind in
+// common/event.hh): comp = Dram*, a = channel index carried literally.
+namespace event_invoke
+{
+
+void
+dramTick(void* buf, Cycle now)
+{
+    const EventDesc& d =
+        *std::launder(reinterpret_cast<const EventDesc*>(buf));
+    static_cast<Dram*>(d.comp)->tickChannel(
+        static_cast<unsigned>(d.a), now);
+}
+
+} // namespace event_invoke
+
 void
 DramParams::validate() const
 {
@@ -26,6 +42,11 @@ DramParams::validate() const
     SL_REQUIRE(tCasNs >= 0 && tRcdNs >= 0 && tRpNs >= 0 &&
                    controllerNs >= 0,
                "dram_params", "timing parameters must be non-negative");
+    SL_REQUIRE(!scheduled() || writeDrainHigh > writeDrainLow,
+               "dram_params",
+               "write-drain watermarks must satisfy high ("
+                   << writeDrainHigh << ") > low (" << writeDrainLow
+                   << ")");
 }
 
 Dram::Dram(const DramParams& params, EventQueue& eq)
@@ -52,6 +73,15 @@ Dram::Dram(const DramParams& params, EventQueue& eq)
     const double seconds = beats / (params_.transferMTs * 1e6);
     burstCycles_ = std::max<Cycle>(
         1, static_cast<Cycle>(std::ceil(seconds * params_.coreGHz * 1e9)));
+
+    if (params_.scheduled()) {
+        channels_.resize(params_.channels);
+        inFlight_.resize(params_.requestors, 0);
+        coreBytes_.reserve(params_.requestors);
+        for (unsigned c = 0; c < params_.requestors; ++c)
+            coreBytes_.push_back(&stats_.counter(
+                "core" + std::to_string(c) + "_bytes"));
+    }
 }
 
 double
@@ -70,35 +100,36 @@ Dram::busyUntil() const
     return busy;
 }
 
-void
-Dram::access(MemRequest* req, Cycle now)
+Dram::Decoded
+Dram::decode(Addr addr) const
 {
     // Address map: blocks interleave across channels; within a channel,
     // 8KB rows (128 blocks) interleave across banks, so streams enjoy
     // row locality while spreading over banks every row.
     constexpr std::uint64_t kBlocksPerRow = 128;
-    const std::uint64_t block = blockNumber(req->addr);
-    const unsigned ch_idx =
-        static_cast<unsigned>(block % params_.channels);
+    const std::uint64_t block = blockNumber(addr);
+    Decoded d;
+    d.channel = static_cast<unsigned>(block % params_.channels);
     const std::uint64_t in_channel = block / params_.channels;
-    const unsigned nbanks = banksPerChannel_;
-    const unsigned bank_idx =
-        static_cast<unsigned>((in_channel / kBlocksPerRow) % nbanks);
-    Bank& bank =
-        banks_[static_cast<std::size_t>(ch_idx) * nbanks + bank_idx];
-    const auto row = static_cast<std::uint32_t>(
-        (in_channel / kBlocksPerRow / nbanks) % params_.rowsPerBank);
+    d.bank = static_cast<std::uint32_t>(
+        (in_channel / kBlocksPerRow) % banksPerChannel_);
+    d.row = static_cast<std::uint32_t>(
+        (in_channel / kBlocksPerRow / banksPerChannel_) %
+        params_.rowsPerBank);
+    return d;
+}
 
-    const bool write = req->kind == ReqKind::Writeback;
-    if (write)
-        ++writesCtr_;
-    else
-        ++readsCtr_;
+Cycle
+Dram::serviceTiming(const Decoded& d, Cycle start)
+{
+    Bank& bank = banks_[static_cast<std::size_t>(d.channel) *
+                            banksPerChannel_ +
+                        d.bank];
 
     // Bank access latency depends on row-buffer state.
-    Cycle bank_start = std::max(now, bank.readyAt);
+    const Cycle bank_start = std::max(start, bank.readyAt);
     Cycle access_lat;
-    if (bank.rowValid && bank.openRow == row) {
+    if (bank.rowValid && bank.openRow == d.row) {
         access_lat = tCas_;
         ++rowHitsCtr_;
     } else if (!bank.rowValid) {
@@ -109,27 +140,42 @@ Dram::access(MemRequest* req, Cycle now)
         ++rowConflictsCtr_;
     }
     bank.rowValid = true;
-    bank.openRow = row;
+    bank.openRow = d.row;
 
     // Data burst waits for the channel bus.
     const Cycle data_ready = bank_start + access_lat;
-    const Cycle burst_start = std::max(data_ready, busFreeAt_[ch_idx]);
-    busFreeAt_[ch_idx] = burst_start + burstCycles_;
+    const Cycle burst_start =
+        std::max(data_ready, busFreeAt_[d.channel]);
+    busFreeAt_[d.channel] = burst_start + burstCycles_;
     bank.readyAt = burst_start + burstCycles_;
 
     bytesCtr_ += kBlockBytes;
+    return burst_start + burstCycles_ + controllerCycles_;
+}
 
-    Cycle done = burst_start + burstCycles_ + controllerCycles_;
+std::int32_t
+Dram::clampCore(int core) const
+{
+    if (core < 0)
+        return 0;
+    if (static_cast<unsigned>(core) >= params_.requestors)
+        return static_cast<std::int32_t>(params_.requestors - 1);
+    return core;
+}
+
+void
+Dram::finish(MemRequest* req, Cycle arrival, Cycle done)
+{
     if (faults_) {
         const Cycle delay = faults_->dramDelay(); // injected slow response
         if (delay > 0 && tele_)
-            tele_->incident("dram_delay", now,
+            tele_->incident("dram_delay", arrival,
                             "response delayed " + std::to_string(delay) +
                                 " cycles (injected fault)");
         done += delay;
     }
     if (tele_)
-        tele_->dramLatency.record(done - now);
+        tele_->dramLatency.record(done - arrival);
     if (req->client) {
         EventDesc d;
         d.a = static_cast<std::uint64_t>(
@@ -141,7 +187,188 @@ Dram::access(MemRequest* req, Cycle now)
 }
 
 void
-Dram::serializeState(Serializer& s)
+Dram::access(MemRequest* req, Cycle now)
+{
+    if (params_.scheduled()) {
+        enqueueScheduled(req, now);
+        return;
+    }
+
+    const Decoded d = decode(req->addr);
+    if (req->kind == ReqKind::Writeback)
+        ++writesCtr_;
+    else
+        ++readsCtr_;
+
+    const Cycle done = serviceTiming(d, now);
+    finish(req, now, done);
+}
+
+void
+Dram::armTick(unsigned ch, Cycle at)
+{
+    Channel& c = channels_[ch];
+    if (c.tickArmed)
+        return;
+    c.tickArmed = true;
+    EventDesc d;
+    d.comp = this;
+    d.a = ch;
+    eq_.schedule(at, EventCallback::make(EventKind::DramTick, d));
+}
+
+void
+Dram::enqueueScheduled(MemRequest* req, Cycle now)
+{
+    const Decoded d = decode(req->addr);
+    Channel& c = channels_[d.channel];
+
+    QueuedReq e;
+    e.req = req;
+    e.arrival = now;
+    e.bank = d.bank;
+    e.row = d.row;
+    e.core = clampCore(req->coreId);
+    e.demand = req->isDemand();
+
+    if (req->kind == ReqKind::Writeback) {
+        ++writesCtr_;
+        c.writeQ.push_back(e);
+        ++queuedWrites_;
+        notePeak("write_q_peak", c.writeQ.size());
+    } else {
+        ++readsCtr_;
+        if (e.demand)
+            ++demandReadsCtr_;
+        else
+            ++prefetchReadsCtr_;
+        c.readQ.push_back(e);
+        ++queuedReads_;
+        ++inFlight_[e.core];
+        notePeak("read_q_peak", c.readQ.size());
+    }
+
+    // The channel services one request per tick; ticks chase busFreeAt_
+    // so the bus never idles while work is queued.
+    armTick(d.channel, std::max(now, busFreeAt_[d.channel]));
+}
+
+void
+Dram::tickChannel(unsigned ch, Cycle now)
+{
+    Channel& c = channels_[ch];
+    if (c.readQ.empty() && c.writeQ.empty()) {
+        c.tickArmed = false;
+        return;
+    }
+
+    // Write-drain batching: enter drain mode at the high watermark or
+    // when no read is waiting; leave once the queue falls to the low
+    // watermark (or empties) and a read wants the bus.
+    if (!c.draining &&
+        (c.writeQ.size() >= params_.writeDrainHigh ||
+         (c.readQ.empty() && !c.writeQ.empty()))) {
+        c.draining = true;
+        ++writeDrainsCtr_;
+    }
+    if (c.draining &&
+        (c.writeQ.empty() ||
+         (c.writeQ.size() <= params_.writeDrainLow && !c.readQ.empty())))
+        c.draining = false;
+
+    const std::size_t chBase =
+        static_cast<std::size_t>(ch) * banksPerChannel_;
+    auto row_hit = [&](const QueuedReq& e) {
+        const Bank& b = banks_[chBase + e.bank];
+        return b.rowValid && b.openRow == e.row;
+    };
+
+    std::vector<QueuedReq>* q;
+    std::size_t pick;
+    if (c.draining || c.readQ.empty()) {
+        // FR-FCFS over writes: first row hit in FIFO order, else oldest.
+        q = &c.writeQ;
+        pick = 0;
+        for (std::size_t i = 0; i < q->size(); ++i) {
+            if (row_hit((*q)[i])) {
+                pick = i;
+                break;
+            }
+        }
+    } else {
+        // Reads: demand class beats prefetch class; within the class,
+        // cores take round-robin turns (the cursor advances past the
+        // serviced core), and within a core's turn row hits go first,
+        // then FCFS.
+        q = &c.readQ;
+        bool any_demand = false;
+        for (const QueuedReq& e : *q) {
+            if (e.demand) {
+                any_demand = true;
+                break;
+            }
+        }
+        const unsigned n = params_.requestors;
+        pick = q->size();
+        for (unsigned off = 0; off < n && pick == q->size(); ++off) {
+            const std::int32_t core =
+                static_cast<std::int32_t>((c.rrNext + off) % n);
+            std::size_t first = q->size();
+            for (std::size_t i = 0; i < q->size(); ++i) {
+                const QueuedReq& e = (*q)[i];
+                if (e.core != core || e.demand != any_demand)
+                    continue;
+                if (row_hit(e)) {
+                    pick = i; // row hit wins the core's turn outright
+                    break;
+                }
+                if (first == q->size())
+                    first = i;
+            }
+            if (pick == q->size())
+                pick = first; // oldest queued for this core (may be none)
+        }
+        SL_CHECK_AT(pick < q->size(), "dram", now,
+                    "scheduler found no candidate in a nonempty read "
+                    "queue");
+        c.rrNext = static_cast<std::uint32_t>(((*q)[pick].core + 1) %
+                                              static_cast<int>(n));
+    }
+
+    const QueuedReq e = (*q)[pick];
+    q->erase(q->begin() + static_cast<std::ptrdiff_t>(pick));
+
+    Decoded d;
+    d.channel = ch;
+    d.bank = e.bank;
+    d.row = e.row;
+    const Cycle done = serviceTiming(d, now);
+
+    if (e.req->kind == ReqKind::Writeback) {
+        --queuedWrites_;
+    } else {
+        --queuedReads_;
+        --inFlight_[e.core];
+        readQWaitCtr_ += now - e.arrival;
+    }
+    *coreBytes_[e.core] += kBlockBytes;
+    finish(e.req, e.arrival, done);
+
+    // Chase the bus: the next service opportunity is when this burst
+    // leaves the channel. tickArmed stays true across the reschedule.
+    if (c.readQ.empty() && c.writeQ.empty()) {
+        c.tickArmed = false;
+        return;
+    }
+    EventDesc ed;
+    ed.comp = this;
+    ed.a = ch;
+    eq_.schedule(std::max(busFreeAt_[ch], now + 1),
+                 EventCallback::make(EventKind::DramTick, ed));
+}
+
+void
+Dram::serializeState(Serializer& s, const SnapshotCtx& ctx)
 {
     s.marker(0x4452414d, "dram");
     std::uint32_t nbanks = static_cast<std::uint32_t>(banks_.size());
@@ -155,6 +382,47 @@ Dram::serializeState(Serializer& s)
     static_assert(std::is_trivially_copyable_v<Bank>);
     s.io(banks_);
     s.io(busFreeAt_);
+
+    // Scheduler queues: absent (zero channels) in unscheduled mode; the
+    // requestor count is config-derived, so both sides agree on shape.
+    std::uint32_t sched = static_cast<std::uint32_t>(channels_.size());
+    s.io(sched);
+    SL_CHECK(sched == channels_.size(), "dram",
+             "snapshot scheduler shape (" << sched << " channels) does "
+             "not match this configuration (" << channels_.size() << ")");
+    auto io_queue = [&](std::vector<QueuedReq>& q) {
+        std::uint64_t n = q.size();
+        s.io(n);
+        if (s.loading()) {
+            q.clear();
+            q.resize(static_cast<std::size_t>(n));
+        }
+        for (std::uint64_t i = 0; i < n; ++i) {
+            QueuedReq& e = q[static_cast<std::size_t>(i)];
+            ctx.ioReq(s, e.req);
+            s.io(e.arrival);
+            s.io(e.bank);
+            s.io(e.row);
+            s.io(e.core);
+            s.io(e.demand);
+        }
+    };
+    for (Channel& c : channels_) {
+        io_queue(c.readQ);
+        io_queue(c.writeQ);
+        s.io(c.draining);
+        s.io(c.tickArmed);
+        s.io(c.rrNext);
+    }
+    if (!channels_.empty()) {
+        s.io(inFlight_);
+        std::uint64_t qr = queuedReads_;
+        std::uint64_t qw = queuedWrites_;
+        s.io(qr);
+        s.io(qw);
+        queuedReads_ = static_cast<std::size_t>(qr);
+        queuedWrites_ = static_cast<std::size_t>(qw);
+    }
     stats_.serializeState(s);
 }
 

@@ -4,8 +4,22 @@
  *
  * Parameters follow Table II of the paper: 3200 MT/s, 8B channel width,
  * tCAS = tRP = tRCD = 12.5ns, 8 banks/rank, and 1/2/2/4 channels with
- * 1/1/2/2 ranks per channel for 1/2/4/8 cores. Transfer rate is a knob so
+ * 1/2/2/4 ranks per channel for 1/2/4/8 cores. Transfer rate is a knob so
  * the Fig 10c bandwidth sweep can scale it.
+ *
+ * Two service disciplines share the bank/row timing core:
+ *
+ *  - Unscheduled (single core, the default): every access resolves its
+ *    bank and bus slot at arrival, in arrival order — the original
+ *    busy-until model, kept bit-identical for cores=1 runs.
+ *
+ *  - Scheduled (DramParams::requestors > 1): arrivals park in per-channel
+ *    read/write queues and a per-channel FR-FCFS-with-priorities
+ *    scheduler picks the next request each time the channel bus frees:
+ *    demand reads beat prefetch reads, cores take round-robin turns
+ *    (per-requestor in-flight accounting backs the rotation and the
+ *    fairness stats), row-buffer hits go first within a core's turn, and
+ *    writes drain in batches between read bursts (high/low watermark).
  */
 
 #ifndef SL_DRAM_DRAM_HH
@@ -43,6 +57,20 @@ struct DramParams
      *  controller and back; added to every access's completion time. */
     double controllerNs = 30.0;
 
+    /** Cores sharing this DRAM. Values > 1 enable the per-channel
+     *  FR-FCFS scheduler; 0/1 keeps the legacy arrival-order model so
+     *  single-core runs stay bit-identical to pre-scheduler builds. */
+    unsigned requestors = 0;
+
+    /** Write-drain watermarks (scheduled mode): start draining writes
+     *  when a channel's write queue reaches writeDrainHigh, stop once it
+     *  falls to writeDrainLow (or a read is waiting and the batch is
+     *  done). */
+    unsigned writeDrainHigh = 16;
+    unsigned writeDrainLow = 4;
+
+    bool scheduled() const { return requestors > 1; }
+
     /** Reject nonsensical DRAM geometry/timing before a run starts. */
     void validate() const;
 };
@@ -51,7 +79,8 @@ struct DramParams
  * Bank-aware DRAM model. Each access resolves its channel/rank/bank/row,
  * pays row-hit / row-miss / row-conflict latency on the bank, then queues
  * for the channel data bus. Reads respond to the requesting client;
- * writebacks only consume bank and bus time.
+ * writebacks only consume bank and bus time. See the file comment for
+ * the scheduled (multi-core) service discipline.
  */
 class Dram : public MemLevel
 {
@@ -78,9 +107,25 @@ class Dram : public MemLevel
     /** Latest cycle any channel bus is busy until (diagnostics). */
     Cycle busyUntil() const;
 
-    /** Snapshot bank/row/bus state and stats. Derived timing constants
-     *  are rebuilt from params at construction, not serialized. */
-    void serializeState(Serializer& s);
+    unsigned channels() const { return params_.channels; }
+
+    /** Queued (not yet serviced) read requests across all channels.
+     *  Always zero in unscheduled mode; the MemPressure signal divides
+     *  this by channels() to get a per-channel congestion estimate. */
+    std::size_t queuedReads() const { return queuedReads_; }
+
+    /** Queued write(back)s across all channels (scheduled mode). */
+    std::size_t queuedWrites() const { return queuedWrites_; }
+
+    /** Service one scheduling step on @p ch (EventKind::DramTick
+     *  target): pick the best queued request, commit its bank/bus
+     *  timing, and re-arm the tick while work remains. */
+    void tickChannel(unsigned ch, Cycle now);
+
+    /** Snapshot bank/row/bus state, scheduler queues (request pointers
+     *  swizzled through @p ctx), and stats. Derived timing constants are
+     *  rebuilt from params at construction, not serialized. */
+    void serializeState(Serializer& s, const SnapshotCtx& ctx);
 
   private:
     struct Bank
@@ -89,6 +134,50 @@ class Dram : public MemLevel
         std::uint32_t openRow = ~0u;
         bool rowValid = false;
     };
+
+    /** One parked request in a channel's read or write queue. */
+    struct QueuedReq
+    {
+        MemRequest* req = nullptr;
+        Cycle arrival = 0;          //!< for FCFS order and latency stats
+        std::uint32_t bank = 0;     //!< channel-local bank index
+        std::uint32_t row = 0;
+        std::int32_t core = 0;      //!< clamped requestor id
+        bool demand = false;        //!< demand read (beats prefetch)
+    };
+
+    /** Per-channel scheduler state (scheduled mode only). */
+    struct Channel
+    {
+        std::vector<QueuedReq> readQ;
+        std::vector<QueuedReq> writeQ;
+        bool draining = false;   //!< in a write-drain batch
+        bool tickArmed = false;  //!< a DramTick event is pending
+        std::uint32_t rrNext = 0; //!< round-robin core cursor
+    };
+
+    struct Decoded
+    {
+        unsigned channel;
+        std::uint32_t bank; //!< channel-local
+        std::uint32_t row;
+    };
+
+    Decoded decode(Addr addr) const;
+
+    /** Commit bank/bus timing for one request at service time @p start;
+     *  returns the completion cycle (shared by both disciplines). */
+    Cycle serviceTiming(const Decoded& d, Cycle start);
+
+    void enqueueScheduled(MemRequest* req, Cycle now);
+
+    /** Completion tail shared by both disciplines: apply injected fault
+     *  delay, record latency telemetry, and respond (reads) or dispose
+     *  (writebacks have no client). */
+    void finish(MemRequest* req, Cycle arrival, Cycle done);
+
+    std::int32_t clampCore(int core) const;
+    void armTick(unsigned ch, Cycle at);
 
     DramParams params_;
     EventQueue& eq_;
@@ -103,6 +192,17 @@ class Dram : public MemLevel
     Cycle tCas_, tRcd_, tRp_, burstCycles_, controllerCycles_;
     StatGroup stats_;
 
+    // ---- scheduler state (sized only when params_.scheduled()) ----
+    std::vector<Channel> channels_;
+    /** Per-requestor queued-request counts (in-flight accounting: the
+     *  fairness rotation and the MemPressure probe both read these). */
+    std::vector<std::uint32_t> inFlight_;
+    std::size_t queuedReads_ = 0;
+    std::size_t queuedWrites_ = 0;
+    /** Per-requestor serviced-byte counters, registered eagerly at
+     *  construction in scheduled mode ("core<i>_bytes"). */
+    std::vector<Counter*> coreBytes_;
+
     /** Per-access counters; lazily registered (HotCounter) so counters
      *  that never fire stay out of serialized stat snapshots. */
     HotCounter readsCtr_{stats_, "reads"};
@@ -111,6 +211,22 @@ class Dram : public MemLevel
     HotCounter rowMissesCtr_{stats_, "row_misses"};
     HotCounter rowConflictsCtr_{stats_, "row_conflicts"};
     HotCounter bytesCtr_{stats_, "bytes"};
+    /** Scheduler counters; only ever fire in scheduled mode, so
+     *  single-core stat digests never see them. */
+    HotCounter demandReadsCtr_{stats_, "sched_demand_reads"};
+    HotCounter prefetchReadsCtr_{stats_, "sched_prefetch_reads"};
+    HotCounter writeDrainsCtr_{stats_, "sched_write_drains"};
+    HotCounter readQWaitCtr_{stats_, "read_q_wait_cycles"};
+
+    /** Record a high-water mark under @p key (scheduled mode only, so
+     *  the eager registration never touches single-core digests). */
+    void
+    notePeak(const char* key, std::uint64_t v)
+    {
+        Counter& c = stats_.counter(key);
+        if (v > c.value())
+            c.set(v);
+    }
 };
 
 } // namespace sl

@@ -66,6 +66,15 @@ class Prefetcher : public CacheListener
     virtual void audit(Cycle now) const { (void)now; }
 
     /**
+     * Attach the shared-memory pressure probe (always null on
+     * single-core systems, so designs that sample it cannot perturb
+     * single-core digests). Temporal prefetchers fold the sampled level
+     * into their partition-sizing epochs: metadata capacity shrinks
+     * while the shared LLC/DRAM are contended.
+     */
+    void setPressure(PressureSignal* p) { pressure_ = p; }
+
+    /**
      * Correlations resident in the metadata store at this instant; 0 for
      * designs without one. Lets the runner report storage-efficiency
      * metrics without knowing concrete prefetcher types.
@@ -109,13 +118,17 @@ class Prefetcher : public CacheListener
     }
 
   protected:
-    /** Base-class state shared by every design (issue counter etc.);
-     *  overrides call this first. */
+    /** Base-class state shared by every design (issue counter, pressure
+     *  epoch accumulators); overrides call this first. */
     void
     serializeBaseState(Serializer& s)
     {
         s.marker(0x50524546, "prefetcher");
         stats_.serializeState(s);
+        s.io(pressureSum_);
+        s.io(pressureSamples_);
+        s.io(calmEpochs_);
+        s.io(calmNeed_);
     }
     /** Issue a prefetch into the owning cache at cycle @p when. */
     void
@@ -145,10 +158,101 @@ class Prefetcher : public CacheListener
         return virt * totalCores_ + static_cast<std::uint32_t>(coreId_);
     }
 
+    /**
+     * Running pressure sample for one partition-sizing epoch. Call
+     * samplePressure() on the training path (no-op single-core), then
+     * pressureDemotions() at the resize decision: 0 = calm epoch, 1 =
+     * mostly elevated (halve the metadata allocation), 2 = mostly
+     * saturated (give the capacity back to data). Resets per epoch.
+     */
+    void
+    samplePressure()
+    {
+        if (pressure_) {
+            pressureSum_ += pressure_->level();
+            ++pressureSamples_;
+        }
+    }
+
+    /**
+     * True once the pressure epoch holds enough samples to act on by
+     * itself. Low-miss phases may never complete a design's own resize
+     * epoch (e.g. a 2^15-access UADP epoch on a core with 30k training
+     * events total), but the co-runners they starve cannot wait: designs
+     * check this on the training path and shrink from the *current*
+     * allocation when a full pressure epoch accumulates first.
+     */
+    bool pressureEpochReady() const { return pressureSamples_ >= 2048; }
+
+    unsigned
+    pressureDemotions()
+    {
+        const std::uint64_t sum = pressureSum_;
+        const std::uint64_t n = pressureSamples_;
+        pressureSum_ = 0;
+        pressureSamples_ = 0;
+        if (n == 0)
+            return 0;
+        // Mean level >= 1.5 -> saturated epoch; >= 0.5 -> elevated.
+        unsigned lvl = 0;
+        if (2 * sum >= 3 * n)
+            lvl = 2;
+        else if (2 * sum >= n)
+            lvl = 1;
+        if (lvl == 0) {
+            if (calmEpochs_ < 255)
+                ++calmEpochs_;
+        } else {
+            calmEpochs_ = 0;
+        }
+        return lvl;
+    }
+
+    /**
+     * Growth hysteresis. A demoted metadata store drains the very queues
+     * whose depth demoted it, so the next epoch reads calm and the
+     * design's own utility logic grows the store right back — a
+     * shrink/drain/regrow/saturate limit cycle. Designs block allocation
+     * *growth* while this is true: until enough consecutive calm
+     * pressure epochs have passed. Always false single-core (null
+     * probe).
+     */
+    bool pressureRecentlyHot() const
+    {
+        return pressure_ != nullptr && calmEpochs_ < calmNeed_;
+    }
+
+    /**
+     * Exponential backoff on the hysteresis window. Designs call this
+     * each time pressure forces the allocation all the way back to zero
+     * (NOT when their own utility logic chooses zero): a store whose
+     * utility signal keeps regrowing it into the same contention is
+     * overclaiming — realized co-runner harm exceeds realized benefit —
+     * and each strike quadruples the calm streak required before the
+     * next growth, which effectively locks a repeat offender released
+     * for the rest of the run.
+     */
+    void
+    notePressureRelease()
+    {
+        if (calmNeed_ <= 64)
+            calmNeed_ *= 4;
+    }
+
     Cache* owner_ = nullptr;
     Cache* llc_ = nullptr;
     EventQueue* eq_ = nullptr;
     FaultInjector* faults_ = nullptr;
+    PressureSignal* pressure_ = nullptr;
+    std::uint64_t pressureSum_ = 0;
+    std::uint64_t pressureSamples_ = 0;
+    /** Consecutive calm pressure epochs; starts at the hysteresis
+     *  threshold ("long calm") so a store that starts released can grow
+     *  at its first utility epoch unless pressure is actually seen. */
+    std::uint32_t calmEpochs_ = 16;
+    /** Calm streak required before growth; quadrupled per forced
+     *  release (16 -> 64 -> 256, capped). */
+    std::uint32_t calmNeed_ = 16;
     int coreId_ = 0;
     unsigned totalCores_ = 1;
     StatGroup stats_;

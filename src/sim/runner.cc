@@ -15,6 +15,7 @@
 #include "prefetch/registry.hh"
 #include "sim/batch.hh"
 #include "sim/snapshot.hh"
+#include "trace/mix.hh"
 
 namespace sl
 {
@@ -237,6 +238,26 @@ runWorkloadsRaw(const RunConfig& cfg,
     res.dramWrites = dram.get("writes");
     res.dramBytes = dram.get("bytes");
 
+    // Shared-memory-system contention counters. All of these read zero on
+    // single-core runs (scheduler/arbiter/pressure gated off), so probing
+    // them unconditionally costs nothing there.
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        res.pfDroppedPressure +=
+            sys.l1d(c).stats().get("prefetch_dropped_pressure");
+        res.pfDroppedPressure +=
+            sys.l2(c).stats().get("prefetch_dropped_pressure");
+    }
+    res.llcQuotaStalls = llc.get("mshr_quota_stalls");
+    res.dramReadQueueWait = dram.get("read_q_wait_cycles");
+    res.dramDemandReads = dram.get("sched_demand_reads");
+    res.dramPrefetchReads = dram.get("sched_prefetch_reads");
+    if (cfg.cores > 1) {
+        res.dramCoreBytes.resize(cfg.cores, 0);
+        for (unsigned c = 0; c < cfg.cores; ++c)
+            res.dramCoreBytes[c] =
+                dram.get("core" + std::to_string(c) + "_bytes");
+    }
+
     // Probe counters come through the Prefetcher interface now, so the
     // runner needs no knowledge of which class is attached.
     if (Prefetcher* pf = sys.l2Prefetcher(0)) {
@@ -343,6 +364,8 @@ printUsage(std::ostream& os)
           "  --l2 NAME               L2 prefetcher (default none)\n"
           "  --cores N               core count (default: one per "
           "workload)\n"
+          "  --mix A,B,...           comma-separated multi-core mix "
+          "(one workload per core)\n"
           "  --scale F               trace scale (default "
           "$SL_TRACE_SCALE or 1.0)\n"
           "  --seed N                trace synthesis seed (default 1)\n"
@@ -608,6 +631,24 @@ runnerMain(int argc, char** argv)
             if (!(v = value(i, "--cores")))
                 return 2;
             cores = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--mix") {
+            if (!(v = value(i, "--mix")))
+                return 2;
+            // Comma-separated multi-core mix, one workload per core
+            // (same shape trace/mix.hh generates). Names land in the
+            // ordinary workload list, so the unknown-workload check
+            // below vets them and prints the known names on a typo.
+            Mix mix;
+            std::stringstream ss(v);
+            for (std::string w; std::getline(ss, w, ',');)
+                if (!w.empty())
+                    mix.push_back(w);
+            if (mix.empty()) {
+                std::cerr << "sl_run: --mix needs at least one "
+                             "workload name\n";
+                return 2;
+            }
+            workloads.insert(workloads.end(), mix.begin(), mix.end());
         } else if (arg == "--scale") {
             if (!(v = value(i, "--scale")))
                 return 2;
@@ -749,6 +790,18 @@ runnerMain(int argc, char** argv)
                       << " ipc=" << cr.ipc
                       << " coverage=" << cr.coverage()
                       << " accuracy=" << cr.accuracy() << "\n";
+        }
+        if (cfg.cores > 1) {
+            std::cout << "shared-memory: pf_dropped="
+                      << res.pfDroppedPressure
+                      << " quota_stalls=" << res.llcQuotaStalls
+                      << " read_q_wait=" << res.dramReadQueueWait
+                      << " demand_reads=" << res.dramDemandReads
+                      << " prefetch_reads=" << res.dramPrefetchReads;
+            for (std::size_t c = 0; c < res.dramCoreBytes.size(); ++c)
+                std::cout << (c ? "/" : " core_bytes=")
+                          << res.dramCoreBytes[c];
+            std::cout << "\n";
         }
         if (res.telemetry) {
             const TelemetryData& t = *res.telemetry;

@@ -141,6 +141,20 @@ struct RunResult
     std::uint64_t dramWrites = 0;
     std::uint64_t dramBytes = 0;
 
+    // Shared-memory-system contention metrics (all zero on single-core
+    // runs, whose DRAM scheduler / LLC arbiter / pressure probe are off).
+    /** Prefetches shed by MemPressure before issue (every cache). */
+    std::uint64_t pfDroppedPressure = 0;
+    /** LLC retries caused by a core exhausting its MSHR quota. */
+    std::uint64_t llcQuotaStalls = 0;
+    /** Cycles read requests spent queued in the DRAM scheduler. */
+    std::uint64_t dramReadQueueWait = 0;
+    /** DRAM reads serviced under demand / prefetch class priority. */
+    std::uint64_t dramDemandReads = 0;
+    std::uint64_t dramPrefetchReads = 0;
+    /** Bytes DRAM served per core ("core<i>_bytes", scheduled mode). */
+    std::vector<std::uint64_t> dramCoreBytes;
+
     /** Stat snapshots for deeper probes (per core). */
     std::vector<std::map<std::string, std::uint64_t>> l2PfStats;
     /** Streamline store stats for core 0 (empty otherwise). */

@@ -63,6 +63,7 @@ buildRegistry(System& sys)
 {
     Registry r;
     r.pool = &sys.requestPool();
+    r.add(static_cast<void*>(&sys.dram()));
     r.addRoles(&sys.llc());
     for (unsigned c = 0; c < sys.cores(); ++c) {
         r.addRoles(&sys.l2(c));
@@ -218,7 +219,11 @@ System::serializeState(Serializer& s, const SnapshotCtx& ctx)
             std::uint32_t comp = ctx.compId(ctx, d.comp);
             s.io(comp);
             std::uint64_t a = d.a;
-            if (kind != EventKind::PrefetchIssue)
+            // PrefetchIssue carries an address and DramTick a channel
+            // index in `a`; every other kind carries a request pointer
+            // that must swizzle through the pool.
+            if (kind != EventKind::PrefetchIssue &&
+                kind != EventKind::DramTick)
                 a = ctx.reqId(ctx, reinterpret_cast<const void*>(
                                        static_cast<std::uintptr_t>(d.a)));
             s.io(a);
@@ -245,13 +250,15 @@ System::serializeState(Serializer& s, const SnapshotCtx& ctx)
             SL_CHECK(kind == EventKind::Retry ||
                          kind == EventKind::Forward ||
                          kind == EventKind::Respond ||
-                         kind == EventKind::PrefetchIssue,
+                         kind == EventKind::PrefetchIssue ||
+                         kind == EventKind::DramTick,
                      "snapshot",
                      "event " << i << " has invalid kind byte "
                               << unsigned(static_cast<std::uint8_t>(kind)));
             EventDesc d;
             d.comp = ctx.compPtr(ctx, comp);
-            if (kind != EventKind::PrefetchIssue) {
+            if (kind != EventKind::PrefetchIssue &&
+                kind != EventKind::DramTick) {
                 SL_CHECK(a <= 0xffffffffull, "snapshot",
                          "event " << i << " request id " << a
                                   << " exceeds the pool id range");
@@ -269,7 +276,11 @@ System::serializeState(Serializer& s, const SnapshotCtx& ctx)
     // --- components, construction order.
     if (faults_)
         faults_->serializeState(s);
-    dram_->serializeState(s);
+    dram_->serializeState(s, ctx);
+    // Presence is derived from cfg.cores (covered by the config digest),
+    // so no extra shape bit is needed.
+    if (pressure_)
+        pressure_->serializeState(s);
     llc_->serializeState(s, ctx);
     for (auto& c : l2s_)
         c->serializeState(s, ctx);

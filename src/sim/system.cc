@@ -51,6 +51,10 @@ dramForCores(unsigned cores, unsigned mts)
       case 4: p.channels = 2; p.ranksPerChannel = 2; break;
       default: p.channels = 4; p.ranksPerChannel = 2; break;
     }
+    // requestors > 1 switches Dram into the per-channel FR-FCFS
+    // scheduler; one core keeps the legacy arrival-order discipline
+    // (and its bit-identical digests).
+    p.requestors = cores;
     return p;
 }
 
@@ -112,9 +116,15 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
     llc_params.latency = cfg.llcLatency;
     llc_params.mshrs = cfg.llcMshrsPerCore * cfg.cores;
     llc_params.ports = cfg.cores; // banked: one access/cycle per core slice
+    // Multi-core: the banked ports become per-core arbitrated lanes and
+    // each core gets an llcMshrsPerCore reservation quota.
+    llc_params.arbCores = cfg.cores > 1 ? cfg.cores : 0;
     llc_ = std::make_unique<Cache>(llc_params, eq_, dram_.get(), &pool_);
     llc_->setFaultInjector(faults_.get());
     llc_->setTelemetry(telemetry_.get());
+
+    if (cfg.cores > 1)
+        pressure_ = std::make_unique<MemPressure>(*dram_, *llc_);
 
     partition_ = std::make_unique<CompositePartition>(cfg.cores);
     llc_->setPartition(partition_.get());
@@ -131,6 +141,7 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
             std::make_unique<Cache>(l2p, eq_, llc_.get(), &pool_));
         l2s_.back()->setFaultInjector(faults_.get());
         l2s_.back()->setTelemetry(telemetry_.get());
+        l2s_.back()->setPressure(pressure_.get());
 
         CacheParams l1p;
         l1p.name = "l1d_" + std::to_string(c);
@@ -143,6 +154,7 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
                                                 l2s_.back().get(), &pool_));
         l1ds_.back()->setFaultInjector(faults_.get());
         l1ds_.back()->setTelemetry(telemetry_.get());
+        l1ds_.back()->setPressure(pressure_.get());
 
         cores_.push_back(std::make_unique<Core>(
             static_cast<int>(c), cfg.core, eq_, l1ds_.back().get(),
@@ -152,6 +164,7 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
         if (cfg.l1dPrefetcher) {
             auto pf = cfg.l1dPrefetcher(static_cast<int>(c));
             pf->setFaultInjector(faults_.get());
+            pf->setPressure(pressure_.get());
             pf->attach(l1ds_.back().get(), llc_.get(), &eq_,
                        static_cast<int>(c), cfg.cores);
             l1ds_.back()->setListener(pf.get());
@@ -163,6 +176,7 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
         if (cfg.l2Prefetcher) {
             auto pf = cfg.l2Prefetcher(static_cast<int>(c));
             pf->setFaultInjector(faults_.get());
+            pf->setPressure(pressure_.get());
             pf->attach(l2s_.back().get(), llc_.get(), &eq_,
                        static_cast<int>(c), cfg.cores);
             l2s_.back()->setListener(pf.get());
@@ -192,7 +206,11 @@ System::System(const SystemConfig& cfg, std::vector<TracePtr> traces)
                 s.pfUseful += st.get("prefetch_useful");
                 s.pfLate += st.get("prefetch_late");
                 s.mshrRetries += st.get("mshr_retries");
+                s.pfDropped += st.get("prefetch_dropped_pressure");
             }
+            for (const auto& l1 : l1ds_)
+                s.pfDropped +=
+                    l1->stats().get("prefetch_dropped_pressure");
             s.llcMisses = llc_->stats().get("demand_misses");
             s.mshrRetries += llc_->stats().get("mshr_retries");
             const StatGroup& d = dram_->stats();

@@ -22,6 +22,7 @@
 #include "dram/dram.hh"
 #include "prefetch/prefetcher.hh"
 #include "sim/hardening.hh"
+#include "sim/mem_pressure.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
 
@@ -161,6 +162,9 @@ class System
     /** The telemetry hub, or null when cfg.telemetry.enabled is false. */
     Telemetry* telemetry() { return telemetry_.get(); }
 
+    /** The contention probe, or null on single-core systems. */
+    MemPressure* memPressure() { return pressure_.get(); }
+
     // --- checkpoint/restore hooks (src/sim/snapshot.cc) ---------------
 
     /**
@@ -215,6 +219,9 @@ class System
     std::unique_ptr<Telemetry> telemetry_;
     std::unique_ptr<Dram> dram_;
     std::unique_ptr<Cache> llc_;
+    /** Built after dram_/llc_ (it probes both); null when cores == 1 so
+     *  single-core behaviour is untouched. */
+    std::unique_ptr<MemPressure> pressure_;
     std::vector<std::unique_ptr<Cache>> l2s_;
     std::vector<std::unique_ptr<Cache>> l1ds_;
     std::vector<std::unique_ptr<Core>> cores_;

@@ -81,6 +81,7 @@ appendIntervalFields(std::ostringstream& os, const IntervalRecord& r,
     field("pf_issued", std::to_string(r.delta.pfIssued));
     field("pf_useful", std::to_string(r.delta.pfUseful));
     field("pf_late", std::to_string(r.delta.pfLate));
+    field("pf_dropped", std::to_string(r.delta.pfDropped));
     field("pf_accuracy", num(r.accuracy()));
     field("pf_coverage", num(r.coverage()));
     field("dram_reads", std::to_string(r.delta.dramReads));
@@ -96,7 +97,8 @@ appendIntervalFields(std::ostringstream& os, const IntervalRecord& r,
 constexpr const char* kCsvHeader =
     "interval,start_cycle,end_cycle,cycles,retired,ipc,l1d_accesses,"
     "l1d_misses,l1d_mpki,l2_misses,l2_mpki,llc_misses,llc_mpki,"
-    "pf_issued,pf_useful,pf_late,pf_accuracy,pf_coverage,dram_reads,"
+    "pf_issued,pf_useful,pf_late,pf_dropped,pf_accuracy,pf_coverage,"
+    "dram_reads,"
     "dram_writes,dram_bytes,dram_row_hit_rate,dram_bytes_per_kcycle,"
     "mshr_retries,mshr_high_water,evq_high_water";
 
@@ -187,7 +189,9 @@ chromeTraceJson(const TelemetryData& d)
         counter(t, "prefetch",
                 "\"issued\":" + std::to_string(r.delta.pfIssued) +
                     ",\"useful\":" + std::to_string(r.delta.pfUseful) +
-                    ",\"late\":" + std::to_string(r.delta.pfLate));
+                    ",\"late\":" + std::to_string(r.delta.pfLate) +
+                    ",\"dropped\":" +
+                    std::to_string(r.delta.pfDropped));
         counter(t, "dram_bytes_per_kcycle",
                 "\"bandwidth\":" + num(r.dramBytesPerKCycle()));
         counter(t, "dram_row_hit_rate",

@@ -102,6 +102,9 @@ struct CounterSnapshot
     std::uint64_t pfIssued = 0;     //!< L2 prefetches sent downstream
     std::uint64_t pfUseful = 0;
     std::uint64_t pfLate = 0;
+    /** Prefetches shed by the MemPressure signal before issue (always
+     *  zero on single-core systems, which attach no pressure probe). */
+    std::uint64_t pfDropped = 0;
     std::uint64_t mshrRetries = 0;  //!< MSHR-full retries, every cache
     std::uint64_t dramReads = 0;
     std::uint64_t dramWrites = 0;
@@ -328,6 +331,7 @@ class IntervalSampler
         d.pfIssued = a.pfIssued - b.pfIssued;
         d.pfUseful = a.pfUseful - b.pfUseful;
         d.pfLate = a.pfLate - b.pfLate;
+        d.pfDropped = a.pfDropped - b.pfDropped;
         d.mshrRetries = a.mshrRetries - b.mshrRetries;
         d.dramReads = a.dramReads - b.dramReads;
         d.dramWrites = a.dramWrites - b.dramWrites;

@@ -27,7 +27,11 @@ TriangelPrefetcher::attach(Cache* owner, Cache* llc, EventQueue* eq,
     sp.utilityRepl = cfg_.useTpMockingjay;
     store_.emplace(sp);
     store_->setFaultInjector(faults_);
-    currentWays_ = cfg_.ideal ? cfg_.maxWays : cfg_.maxWays / 2;
+    // On a shared LLC (live pressure probe) the store starts released and
+    // must earn ways through set dueling; a cycle-0 half-size claim can
+    // evict a co-runner's LLC-resident working set irrecoverably.
+    currentWays_ = cfg_.ideal ? cfg_.maxWays
+                              : (pressure_ ? 0 : cfg_.maxWays / 2);
     store_->resize(currentWays_);
     dataSampler_.emplace(std::min<std::uint32_t>(64, metadataSets()),
                          metadataSets(), llc_->ways());
@@ -175,12 +179,23 @@ TriangelPrefetcher::onAccess(const AccessInfo& info)
         const auto set = static_cast<std::uint32_t>(
             mix64(block) % metadataSets());
         dataSampler_->access(set, block);
+        samplePressure(); // no-op single-core (null probe)
         ++accessesSinceResize_;
         if (accessesSinceResize_ >= cfg_.resizeInterval)
             maybeResize(info.cycle);
+        else if (pressureEpochReady())
+            pressureShrink(info.cycle);
     }
 
     // ---- training: correlate with last (or second-last under lookahead)
+    // A pressure-released store (multi-core only: pressureShrink drove it
+    // to zero ways) holds nothing but the sampled measurement sets, so it
+    // stops billing LLC metadata traffic — without this, a released
+    // Triangel keeps saturating the shared LLC with reads and writes that
+    // can no longer hit. Streamline gets the same for free from filtered
+    // indexing; single-core runs (null pressure probe) are untouched.
+    const bool released = pressure_ != nullptr && currentWays_ == 0;
+
     const Addr trigger = tu.lookahead ? tu.secondLast : tu.last;
     if (trigger != 0 && trigger != block) {
         trainConfidence(tu, trigger, block);
@@ -191,7 +206,7 @@ TriangelPrefetcher::onAccess(const AccessInfo& info)
             const auto cached = mrbLookup(trigger);
             if (!cached || *cached != block) {
                 store_->insert(trigger, block);
-                if (!cfg_.ideal)
+                if (!cfg_.ideal && !released)
                     llc_->metadataAccess(true, info.cycle);
                 mrbInsert(trigger, block);
             } else {
@@ -206,8 +221,14 @@ TriangelPrefetcher::onAccess(const AccessInfo& info)
 
     // ---- prefetching: chase the chain up to the PC's degree
     const unsigned degree = degreeFor(tu);
-    if (degree == 0 && !cfg_.ideal)
-        store_->probeSampled(block); // keep the utility signal alive
+    // Keep the utility signal alive for confidence-blocked PCs -- but
+    // only single-core. On a shared LLC this probe overclaims: it
+    // credits capacity for correlations the degree gate will never turn
+    // into prefetches, and dueling then holds ways whose realized value
+    // is a fraction of the sampled score while co-runners pay full
+    // price for the lost capacity.
+    if (degree == 0 && !cfg_.ideal && pressure_ == nullptr)
+        store_->probeSampled(block);
     Addr cur = block;
     Cycle t = info.cycle;
     for (unsigned d = 0; d < degree; ++d) {
@@ -216,7 +237,7 @@ TriangelPrefetcher::onAccess(const AccessInfo& info)
             ++mrbHitsCtr_;
         } else {
             target = store_->lookup(cur);
-            if (!cfg_.ideal)
+            if (!cfg_.ideal && !released)
                 t = llc_->metadataAccess(false, t);
             else
                 t = t + 20; // dedicated-store latency
@@ -225,9 +246,51 @@ TriangelPrefetcher::onAccess(const AccessInfo& info)
         }
         if (!target)
             break;
-        prefetch(*target << kBlockShift, info.pc, t);
+        // A released store still chases the chain through its sampled
+        // shadow sets (the dueling signal needs the hits), but issues
+        // nothing: prefetching from that residue is almost all pollution
+        // the contended memory system cannot absorb.
+        if (!released)
+            prefetch(*target << kBlockShift, info.pc, t);
         cur = *target;
     }
+}
+
+void
+TriangelPrefetcher::pressureShrink(Cycle now)
+{
+    // Fast path between set-dueling epochs: a thin miss stream may never
+    // reach resizeInterval, but its initial half-size store still holds
+    // LLC ways a co-runner's demand stream needs. Shrink-only — growing
+    // stays the dueling epoch's call.
+    unsigned target = currentWays_;
+    switch (pressureDemotions()) {
+    case 1:
+        // Ratchet like Streamline's fast path: once already down to a
+        // quarter of the store, a further elevated epoch releases it all.
+        target = currentWays_ <= 2 ? 0 : currentWays_ / 2;
+        break;
+    case 2:
+        target = 0;
+        ++stats_.counter("pressure_deallocations");
+        break;
+    default:
+        return;
+    }
+    if (target == currentWays_)
+        return;
+    if (target == 0)
+        notePressureRelease();
+    ++stats_.counter("resizes");
+    currentWays_ = target;
+    const std::uint64_t moved = store_->resize(target);
+    stats_.counter("shuffle_blocks") += moved;
+    llc_->metadataBulkTraffic(moved, now);
+    // A released store must also stop the MRB from chaining prefetches
+    // off stale correlations it cached before the release.
+    if (target == 0)
+        for (auto& e : mrb_)
+            e.valid = false;
 }
 
 void
@@ -242,18 +305,65 @@ TriangelPrefetcher::maybeResize(Cycle now)
     const unsigned llc_ways = llc_->ways();
     const double sampled_hits =
         static_cast<double>(store_->takeSampledHits());
+    // On a shared LLC the dueling comparison is biased: the sampler sees
+    // only *this* core's data hits, but a way reserved for metadata is
+    // carved out of physical sets every co-runner's data stream maps
+    // into — capacity theft the queue-depth pressure probe cannot see
+    // when the victims stay latency-bound rather than bandwidth-bound,
+    // and the victims' hit density in those ways is unobservable from
+    // here. Weight the data side by 2x the core count as a conservative
+    // opportunity-cost bound: the store then grows only when sampled
+    // utility clearly dominates any plausible data use of the capacity
+    // (deep/shallow ~ 0 — the LLC-thrashing mcf-style traces where
+    // temporal prefetching actually pays at multi-core). Single-core
+    // systems have a null probe and keep the paper's local score.
+    const double data_w =
+        pressure_ != nullptr ? 2.0 * static_cast<double>(totalCores_)
+                             : 1.0;
     double best_score = -1.0;
+    double score_off = 0.0;
     unsigned best_ways = 0;
     for (unsigned w = 0; w <= cfg_.maxWays; ++w) {
         const double score =
-            static_cast<double>(dataSampler_->hitsWithin(llc_ways - w)) +
+            data_w *
+                static_cast<double>(dataSampler_->hitsWithin(llc_ways - w)) +
             sampled_hits * w / cfg_.maxWays;
+        if (w == 0)
+            score_off = score;
         if (score > best_score) {
             best_score = score;
             best_ways = w;
         }
     }
+    // Shared LLC: a statistical tie between "grow" and "all data" must
+    // not claim capacity — growth has to clearly dominate (ties go to
+    // the co-runners' demand streams).
+    if (pressure_ != nullptr && best_ways > 0 &&
+        best_score <= 1.1 * score_off)
+        best_ways = 0;
     dataSampler_->reset();
+
+    // Shared-memory pressure overrides the local dueling score: ways
+    // held for metadata are capacity a co-runner's demand stream would
+    // use, so a mostly-elevated epoch halves the winning size and a
+    // mostly-saturated one hands the capacity back to data.
+    switch (pressureDemotions()) {
+    case 1:
+        best_ways /= 2;
+        break;
+    case 2:
+        best_ways = 0;
+        ++stats_.counter("pressure_deallocations");
+        if (currentWays_ != 0)
+            notePressureRelease();
+        break;
+    default:
+        break;
+    }
+    // Growth hysteresis: dueling may only regrow the store after the
+    // shared memory system has stayed calm for several epochs.
+    if (pressureRecentlyHot() && best_ways > currentWays_)
+        best_ways = currentWays_;
 
     if (best_ways == currentWays_)
         return;

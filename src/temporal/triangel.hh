@@ -74,6 +74,12 @@ class TriangelPrefetcher : public Prefetcher, public PartitionPolicy
     unsigned
     reservedWays(std::uint32_t set) const override
     {
+        // A pressure-released store (multi-core only) drops the sampled
+        // sets' reservation too: they keep measuring as shadow tags, but
+        // their permanent full-size claim on hot shared LLC sets is the
+        // capacity theft the release exists to end.
+        if (pressure_ != nullptr && currentWays_ == 0)
+            return 0;
         // Sampled sets stay at full size (utility measurement).
         if (store_ && store_->sampledSet(set))
             return cfg_.maxWays;
@@ -170,6 +176,7 @@ class TriangelPrefetcher : public Prefetcher, public PartitionPolicy
     std::optional<Addr> mrbLookup(Addr trigger);
     void mrbInsert(Addr trigger, Addr target);
     unsigned degreeFor(const TuEntry& tu) const;
+    void pressureShrink(Cycle now);
     void maybeResize(Cycle now);
 
     TriangelConfig cfg_;

@@ -168,6 +168,13 @@ expectIdenticalResults(const RunResult& a, const RunResult& b)
     EXPECT_EQ(a.dramWrites, b.dramWrites);
     EXPECT_EQ(a.dramBytes, b.dramBytes);
     EXPECT_EQ(a.storedCorrelations, b.storedCorrelations);
+    // Shared-memory-system counters (nonzero only on multi-core runs).
+    EXPECT_EQ(a.pfDroppedPressure, b.pfDroppedPressure);
+    EXPECT_EQ(a.llcQuotaStalls, b.llcQuotaStalls);
+    EXPECT_EQ(a.dramReadQueueWait, b.dramReadQueueWait);
+    EXPECT_EQ(a.dramDemandReads, b.dramDemandReads);
+    EXPECT_EQ(a.dramPrefetchReads, b.dramPrefetchReads);
+    EXPECT_EQ(a.dramCoreBytes, b.dramCoreBytes);
 }
 
 std::vector<char>
@@ -205,6 +212,43 @@ TEST(SnapshotFile, SaveRestoreRoundTripIsBitIdentical)
     restore.restorePath = path;
     const RunResult resumed = runWorkloadsRaw(cfg, w, restore);
     expectIdenticalResults(plain, resumed);
+    std::remove(path.c_str());
+}
+
+/**
+ * The shared-memory-system state added for multi-core runs — per-channel
+ * DRAM read/write queues with mid-flight requests, per-core LLC MSHR
+ * quota charges, core/class tags on queued entries, and the pressure
+ * probe's parity coin — must all survive a snapshot taken while that
+ * machinery is busy. A 2-core mix keeps every piece engaged (the DRAM
+ * scheduler, LLC arbiter, and MemPressure only exist when cores > 1);
+ * the save point lands mid-run so queues are realistically non-empty.
+ */
+TEST(SnapshotFile, MultiCoreSharedMemoryRoundTrip)
+{
+    const std::string path = "sl_test_snapshot_2core.bin";
+    RunConfig cfg = smallConfig();
+    cfg.cores = 2;
+    const std::vector<std::string> w{"spec06_mcf", "gap_bfs"};
+
+    const RunResult plain = runWorkloadsRaw(cfg, w);
+
+    RunHooks save;
+    save.snapshotAt = 50'000;
+    save.snapshotPath = path;
+    const RunResult saved = runWorkloadsRaw(cfg, w, save);
+    expectIdenticalResults(plain, saved);
+
+    RunHooks restore;
+    restore.restorePath = path;
+    const RunResult resumed = runWorkloadsRaw(cfg, w, restore);
+    expectIdenticalResults(plain, resumed);
+
+    // The run must actually have exercised the scheduled DRAM path, or
+    // this round-trip proves nothing about the new state.
+    EXPECT_GT(plain.dramDemandReads + plain.dramPrefetchReads, 0u);
+    ASSERT_EQ(plain.dramCoreBytes.size(), 2u);
+    EXPECT_GT(plain.dramCoreBytes[0] + plain.dramCoreBytes[1], 0u);
     std::remove(path.c_str());
 }
 
