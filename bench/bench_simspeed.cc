@@ -204,11 +204,13 @@ main()
 
     // Multi-core cost probe: the shared memory system (DRAM scheduler,
     // LLC arbiter, pressure probe) only runs when cores > 1, so its
-    // simulation cost is invisible to the single-core matrix. Two 2-core
+    // simulation cost is invisible to the single-core matrix. 2-core
     // cells pin it down: spec06_mcf replicated across both cores, with
-    // and without the L2 prefetcher.
+    // each L2 prefetcher and with none (the metadata-heavy prefetchers
+    // stress the LLC arbiter very differently from the stream-based one,
+    // so all three get their own cell).
     std::printf("\n-- 2-core cells (spec06_mcf x2, shared LLC/DRAM) --\n");
-    for (const auto* l2 : {"streamline", "none"}) {
+    for (const auto* l2 : {"streamline", "triage", "triangel", "none"}) {
         const Cell c =
             timeCell(std::string("2core_") + l2, l2, "spec06_mcf", scale,
                      repetitions, nullptr, /*cores=*/2);

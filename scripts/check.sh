@@ -5,10 +5,11 @@
 #   scripts/check.sh            # all modes
 #   scripts/check.sh plain      # plain build only
 #   scripts/check.sh sanitize   # sanitizer build only
-#   scripts/check.sh simspeed   # simulator-speed gate (fails <0.98x baseline)
+#   scripts/check.sh simspeed   # simulator-speed gate (relative + hard floors)
 #   scripts/check.sh telemetry  # instrumented run + export validation
 #   scripts/check.sh resilience # hang-timeout kill + manifest resume
 #   scripts/check.sh multicore  # 2-core ASan smoke + single-core digest gate
+#   scripts/check.sh tracecache # persistent trace cache: cold/warm/corruption
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -56,10 +57,13 @@ EOF
 # Simulator-speed gate: run bench_simspeed on a tiny matrix, parse its
 # JSON, and fold the per-config and per-cell throughput into
 # BENCH_simspeed.json at the repo root (perf trajectory across PRs).
-# Regressions below 0.98x of the recorded baseline FAIL the check: the
-# telemetry probes must cost <2% when disabled, so the gate is tight by
-# design (best-of SL_SIMSPEED_REPS runs absorbs scheduler noise;
-# SL_SIMSPEED_FLOOR overrides the threshold on a known-loaded machine).
+# Regressions below SL_SIMSPEED_FLOOR x the recorded baseline FAIL the
+# check. The default floor is 0.75: the tiny-scale cells are sub-second
+# and back-to-back identical-binary runs disperse by ~12% on shared
+# hardware, so a tighter floor flags noise, not regressions (tighten
+# via SL_SIMSPEED_FLOOR on a quiet dedicated machine; the telemetry
+# stage checks its own disabled-cost claim). The gap_bfs cells also
+# carry hard absolute floors that survive baseline refreshes.
 simspeed() {
     local dir="$1"
     echo "== simspeed: throughput gate (${dir}) =="
@@ -67,7 +71,7 @@ simspeed() {
     local out="${dir}/bench_simspeed.out"
     SL_BENCH_SCALE="${SL_SIMSPEED_SCALE:-0.05}" SL_JOBS=1 \
         "${dir}/bench/bench_simspeed" > "${out}"
-    SL_SIMSPEED_FLOOR="${SL_SIMSPEED_FLOOR:-0.98}" \
+    SL_SIMSPEED_FLOOR="${SL_SIMSPEED_FLOOR:-0.75}" \
         python3 - "${out}" BENCH_simspeed.json <<'EOF'
 import json, os, sys
 text = open(sys.argv[1]).read()
@@ -113,7 +117,7 @@ snap["current"] = {
         "enabled_overhead_pct": tele[0]["enabled_overhead_pct"],
     },
 }
-FLOOR = float(os.environ.get("SL_SIMSPEED_FLOOR", "0.98"))
+FLOOR = float(os.environ.get("SL_SIMSPEED_FLOOR", "0.75"))
 failures = []
 # The config aggregate is only comparable when the workload matrix is
 # unchanged (adding a workload shifts the cycle mix); cells always are.
@@ -134,6 +138,20 @@ for c, kcps in cur_mc.items():
     if base > 0 and kcps < FLOOR * base:
         failures.append(f"multicore '{c}': {kcps:.0f} kc/s vs baseline "
                         f"{base:.0f} kc/s ({kcps / base:.2f}x)")
+# Hard absolute floors for the gap_bfs cells (the retry-path stress
+# case): unlike the relative gate these survive baseline refreshes, so
+# reverting the flattened DRAM retry path fails here even after an
+# (accidental) baseline rewrite. Floors sit ~2x below the slowest
+# observed post-flattening run at scale 0.05, far outside bench noise;
+# SL_SIMSPEED_HARD scales them (0 disables, e.g. under emulation).
+HARD = float(os.environ.get("SL_SIMSPEED_HARD", "1"))
+GAP_FLOORS = {"baseline": 4500, "streamline": 3500,
+              "triage": 4500, "triangel": 2500}
+for c, floor in GAP_FLOORS.items():
+    kcps = cur_cells.get(c, {}).get("gap_bfs", 0)
+    if HARD > 0 and kcps and kcps < floor * HARD:
+        failures.append(f"hard floor 'gap_bfs/{c}': {kcps:.0f} kc/s < "
+                        f"{floor * HARD:.0f} kc/s absolute minimum")
 json.dump(snap, open(path, "w"), indent=2, sort_keys=True)
 print(f"simspeed snapshot -> {path}: " +
       ", ".join(f"{c}={v:.0f}kc/s" for c, v in sorted(cur.items())))
@@ -146,6 +164,51 @@ if failures:
         print("  " + f)
     sys.exit(1)
 EOF
+}
+
+# Trace-cache stage (DESIGN.md §13): a cold run must publish a cache
+# file, a warm run must mmap it and produce byte-identical output, a
+# cache-less run must match both (the cache may never change results),
+# and a corrupted file must be detected, reported, regenerated, and
+# healed in place.
+tracecache() {
+    local dir="$1"
+    echo "== trace cache: cold/warm/corruption (${dir}) =="
+    cmake --build "${dir}" --target sl_run -j
+    local cache="${dir}/trace_cache_check"
+    rm -rf "${cache}"
+    local run=("${dir}/src/sim/sl_run" --l2 streamline --scale 0.05
+               gap_bfs)
+    SL_DUMP_STATS=1 SL_TRACE_CACHE="${cache}" "${run[@]}" \
+        > "${dir}/tc_cold.out"
+    test -s "${cache}"/gap_bfs_*.sltc
+    SL_DUMP_STATS=1 SL_TRACE_CACHE="${cache}" "${run[@]}" \
+        > "${dir}/tc_warm.out"
+    cmp "${dir}/tc_cold.out" "${dir}/tc_warm.out"
+    SL_DUMP_STATS=1 "${run[@]}" > "${dir}/tc_off.out"
+    cmp "${dir}/tc_cold.out" "${dir}/tc_off.out"
+    echo "cold == warm == cache-less (stats bit-identical)"
+
+    # Flip one payload byte: the next run must note the CRC failure on
+    # stderr, regenerate transparently, and republish a healthy file.
+    python3 - "${cache}"/gap_bfs_*.sltc <<'EOF'
+import sys
+with open(sys.argv[1], "r+b") as f:
+    f.seek(200)
+    b = f.read(1)[0]
+    f.seek(200)
+    f.write(bytes([b ^ 0x55]))
+EOF
+    SL_DUMP_STATS=1 SL_TRACE_CACHE="${cache}" "${run[@]}" \
+        > "${dir}/tc_heal.out" 2> "${dir}/tc_heal.err"
+    grep -q 'trace cache:.*regenerating' "${dir}/tc_heal.err"
+    cmp "${dir}/tc_cold.out" "${dir}/tc_heal.out"
+    SL_DUMP_STATS=1 SL_TRACE_CACHE="${cache}" "${run[@]}" \
+        > "${dir}/tc_rewarm.out" 2> "${dir}/tc_rewarm.err"
+    test ! -s "${dir}/tc_rewarm.err"
+    cmp "${dir}/tc_cold.out" "${dir}/tc_rewarm.out"
+    rm -rf "${cache}"
+    echo "corrupt file detected, regenerated, and healed in place"
 }
 
 # Resilience stage: a sweep job armed with a lost-request fault and a
@@ -269,16 +332,18 @@ case "${MODE}" in
     cmake -B build-asan -S . -DSL_SANITIZE=ON
     multicore build build-asan
     ;;
+  tracecache) cmake -B build -S .; tracecache build ;;
   all)
     run_mode plain build
     bench_smoke build
     telemetry build
     resilience build
+    tracecache build
     run_mode asan+ubsan build-asan -DSL_SANITIZE=ON
     multicore build build-asan
     simspeed build
     ;;
-  *) echo "usage: $0 [plain|sanitize|simspeed|telemetry|resilience|multicore|all]" >&2
+  *) echo "usage: $0 [plain|sanitize|simspeed|telemetry|resilience|multicore|tracecache|all]" >&2
      exit 2 ;;
 esac
 

@@ -84,6 +84,7 @@ Cache::Cache(const CacheParams& params, EventQueue& eq, MemLevel* next,
               : params.sizeBytes / kBlockBytes / params.ways)),
       blocks_(static_cast<std::size_t>(numSets_) * params.ways),
       tags_(static_cast<std::size_t>(numSets_) * params.ways, kNoTag),
+      lru_(static_cast<std::size_t>(numSets_) * params.ways, 0),
       mshrs_(params.mshrs == 0 ? 1 : params.mshrs),
       stats_(params.name)
 {
@@ -202,6 +203,29 @@ Cache::access(MemRequest* req, Cycle now)
 }
 
 void
+Cache::retryNow(MemRequest* r, Cycle now)
+{
+    const Cycle start = reservePortFor(r->coreId, now);
+    if (r->parkGen == stateGen_) {
+        // Nothing that decides the structural-stall branch has changed
+        // since this request parked, so re-presenting it would walk the
+        // same miss path to the same stall. Replay the stall's observable
+        // side effects (port-lane reservation above, retry counters, the
+        // 4-cycle repark) without the tag probe and MSHR walk -- under a
+        // retry storm this is the dominant event by an order of
+        // magnitude.
+        ++ctr_.mshrRetries;
+        if (r->parkQuotaStall)
+            ++quotaStalls_;
+        eq_.schedule(start + 4,
+                     EventCallback::make(EventKind::Retry,
+                                         reqDesc(this, r)));
+        return;
+    }
+    handleAt(r, start);
+}
+
+void
 Cache::handleAt(MemRequest* req, Cycle start)
 {
     const bool demand = req->isDemand();
@@ -211,7 +235,8 @@ Cache::handleAt(MemRequest* req, Cycle start)
         ++ctr_.writebackIn;
         if (Block* b = findBlock(req->addr)) {
             b->dirty = true;
-            b->lru = ++lruTick_;
+            lru_[static_cast<std::size_t>(b - blocks_.data())] =
+                ++lruTick_;
         } else {
             installFill(req->addr, false, false, true, req->coreId, start);
         }
@@ -236,31 +261,37 @@ Cache::handleAt(MemRequest* req, Cycle start)
 
     if (b) {
         // ----- hit -----
-        AccessInfo info;
-        info.addr = req->addr;
-        info.pc = req->pc;
-        info.coreId = req->coreId;
-        info.cycle = start;
-        info.hit = true;
-        info.type = req->kind == ReqKind::DemandStore ? AccessType::Store
-                                                      : AccessType::Load;
-        b->lru = ++lruTick_;
+        lru_[static_cast<std::size_t>(b - blocks_.data())] = ++lruTick_;
         if (demand) {
+            bool prefetch_hit = false;
             if (fresh)
                 ++ctr_.demandHits;
             if (b->prefetched) {
                 b->prefetched = false;
                 if (b->prefetchOriginHere)
                     ++ctr_.prefetchUseful;
-                info.prefetchHit = true;
+                prefetch_hit = true;
                 if (tele_)
                     tele_->fillToDemand.record(
                         start > b->fillAt ? start - b->fillAt : 0);
             }
             if (req->kind == ReqKind::DemandStore)
                 b->dirty = true;
-            if (fresh && listener_)
+            if (fresh && listener_) {
+                // Built only when a listener will consume it: the common
+                // no-prefetcher hit path skips the whole struct.
+                AccessInfo info;
+                info.addr = req->addr;
+                info.pc = req->pc;
+                info.coreId = req->coreId;
+                info.cycle = start;
+                info.hit = true;
+                info.prefetchHit = prefetch_hit;
+                info.type = req->kind == ReqKind::DemandStore
+                                ? AccessType::Store
+                                : AccessType::Load;
                 listener_->onAccess(info);
+            }
             respond(req, start + params_.latency);
         } else {
             // Prefetch for a resident block.
@@ -277,16 +308,18 @@ Cache::handleAt(MemRequest* req, Cycle start)
     // ----- miss -----
     if (demand && fresh) {
         ++ctr_.demandMisses;
-        AccessInfo info;
-        info.addr = req->addr;
-        info.pc = req->pc;
-        info.coreId = req->coreId;
-        info.cycle = start;
-        info.hit = false;
-        info.type = req->kind == ReqKind::DemandStore ? AccessType::Store
-                                                      : AccessType::Load;
-        if (listener_)
+        if (listener_) {
+            AccessInfo info;
+            info.addr = req->addr;
+            info.pc = req->pc;
+            info.coreId = req->coreId;
+            info.cycle = start;
+            info.hit = false;
+            info.type = req->kind == ReqKind::DemandStore
+                            ? AccessType::Store
+                            : AccessType::Load;
             listener_->onAccess(info);
+        }
     }
 
     if (Mshr* m = mshrs_.find(req->addr)) {
@@ -317,15 +350,19 @@ Cache::handleAt(MemRequest* req, Cycle start)
         // a core that exhausted its MSHR reservation stalls alone while
         // its siblings keep allocating from their own quotas.
         ++ctr_.mshrRetries;
-        if (quota_blocked && !mshrs_.full())
-            ++stats_.counter("mshr_quota_stalls");
+        const bool quota_stall = quota_blocked && !mshrs_.full();
+        if (quota_stall)
+            ++quotaStalls_;
         req->retried = true;
+        req->parkQuotaStall = quota_stall;
+        req->parkGen = stateGen_;
         eq_.schedule(start + 4,
                      EventCallback::make(EventKind::Retry,
                                          reqDesc(this, req)));
         return;
     }
 
+    ++stateGen_;
     Mshr& m = mshrs_.insert(req->addr);
     m.prefetchOnly = !demand;
     m.prefetchOriginHere = !demand && req->origin == this;
@@ -396,6 +433,7 @@ Cache::requestDone(const MemRequest& req, Cycle now)
     fillWaiters_.clear();
     std::swap(fillWaiters_, m->waiters);
     mshrs_.erase(req.addr);
+    ++stateGen_;
 
     bool store = false;
     for (const MemRequest* w : fillWaiters_) {
@@ -434,22 +472,30 @@ Cache::installFill(Addr addr, bool prefetched, bool origin_here,
 {
     const std::uint32_t set = setIndex(addr);
     const unsigned reserved = reservedWays(set);
-    Block* row = &blocks_[static_cast<std::size_t>(set) * params_.ways];
+    const std::size_t base = static_cast<std::size_t>(set) * params_.ways;
 
-    Block* victim = nullptr;
+    // Victim selection runs entirely off the packed tag/LRU side arrays
+    // (two cache lines per set instead of one Block per way): first
+    // invalid way in scan order, else the strictly-least LRU stamp in
+    // way order -- the audited tags_/valid mirror makes the kNoTag probe
+    // equivalent to the old row[w].valid test.
+    unsigned vw = params_.ways;
+    const Addr* tagRow = &tags_[base];
+    const std::uint64_t* lruRow = &lru_[base];
     for (unsigned w = reserved; w < params_.ways; ++w) {
-        if (!row[w].valid) {
-            victim = &row[w];
+        if (tagRow[w] == kNoTag) {
+            vw = w;
             break;
         }
-        if (!victim || row[w].lru < victim->lru)
-            victim = &row[w];
+        if (vw == params_.ways || lruRow[w] < lruRow[vw])
+            vw = w;
     }
-    if (!victim) {
+    if (vw == params_.ways) {
         // Entire set reserved for metadata: the fill bypasses this cache.
         ++ctr_.fillBypassed;
         return;
     }
+    Block* victim = &blocks_[base + vw];
 
     if (victim->valid) {
         ++ctr_.evictions;
@@ -466,25 +512,38 @@ Cache::installFill(Addr addr, bool prefetched, bool origin_here,
         }
     }
 
+    ++stateGen_;
     victim->valid = true;
     victim->dirty = store;
     victim->prefetched = prefetched;
     victim->prefetchOriginHere = prefetched && origin_here;
     victim->tag = blockNumber(addr);
-    victim->lru = ++lruTick_;
+    lru_[base + vw] = ++lruTick_;
     victim->fillAt = now;
-    tags_[static_cast<std::size_t>(victim - blocks_.data())] = victim->tag;
+    tags_[base + vw] = victim->tag;
 }
 
 void
 Cache::respond(MemRequest* req, Cycle when)
 {
-    if (req->client) {
-        eq_.schedule(when, EventCallback::make(EventKind::Respond,
-                                               reqDesc(nullptr, req)));
-    } else {
+    if (!req->client) {
         disposeRequest(req);
+        return;
     }
+    if (req->directRespond) {
+        // The client opted into immediate delivery: its requestDone only
+        // records the data-ready cycle (@p when may be in the future),
+        // so skipping the Respond event round-trip through the queue is
+        // unobservable -- the core consults doneAt against the current
+        // cycle, never against wall delivery order. Core::nextWake folds
+        // the recorded cycle back into the idle fast-forward so the wake
+        // the dropped event would have provided is preserved.
+        req->client->requestDone(*req, when);
+        disposeRequest(req);
+        return;
+    }
+    eq_.schedule(when, EventCallback::make(EventKind::Respond,
+                                           reqDesc(nullptr, req)));
 }
 
 void
@@ -573,7 +632,7 @@ Cache::audit(Cycle now) const
                                        << setIndex(row[w].tag
                                                    << kBlockShift)
                                        << " found in set " << set);
-            SL_CHECK_AT(row[w].lru <= lruTick_, comp, now,
+            SL_CHECK_AT(lru_[base + w] <= lruTick_, comp, now,
                         "LRU stamp from the future");
         }
     }
@@ -582,6 +641,7 @@ Cache::audit(Cycle now) const
 void
 Cache::reclaimReservedWays(std::uint32_t set, Cycle now)
 {
+    ++stateGen_; // conservative: tag array mutates below
     const unsigned reserved = reservedWays(set);
     Block* row = &blocks_[static_cast<std::size_t>(set) * params_.ways];
     for (unsigned w = 0; w < reserved; ++w) {
@@ -624,6 +684,7 @@ Cache::serializeState(Serializer& s, const SnapshotCtx& ctx)
     static_assert(std::is_trivially_copyable_v<Block>);
     s.io(blocks_);
     s.io(tags_);
+    s.io(lru_);
     s.io(lruTick_);
     std::uint64_t outstanding = outstandingDownstream_;
     s.io(outstanding);
@@ -653,6 +714,7 @@ Cache::serializeState(Serializer& s, const SnapshotCtx& ctx)
             ++mshrByCore_[qc];
         });
     }
+    s.io(stateGen_);
     stats_.serializeState(s);
 }
 

@@ -162,11 +162,7 @@ class Cache : public MemLevel, public RequestClient
     void issuePrefetch(Addr addr, PC pc, int core_id, Cycle now);
 
     /** Re-present @p r after an MSHR stall (EventKind::Retry target). */
-    void
-    retryNow(MemRequest* r, Cycle now)
-    {
-        handleAt(r, reservePortFor(r->coreId, now));
-    }
+    void retryNow(MemRequest* r, Cycle now);
 
     /** Hand @p down to the next level (EventKind::Forward target). */
     void forwardNow(MemRequest* down, Cycle now) { next_->access(down, now); }
@@ -234,7 +230,6 @@ class Cache : public MemLevel, public RequestClient
         bool prefetched = false;       //!< filled by a prefetch, unused yet
         bool prefetchOriginHere = false; //!< that prefetch originated here
         Addr tag = 0;
-        std::uint64_t lru = 0;
         /** Install cycle; with telemetry on, the first demand hit on a
          *  prefetched block reports (now - fillAt) as fill-to-demand
          *  distance. Maintained unconditionally — one store into a row
@@ -284,9 +279,24 @@ class Cache : public MemLevel, public RequestClient
      *  touches a third of the memory a Block-row scan does — and misses
      *  (the common case under an MSHR retry storm) scan every way. */
     std::vector<Addr> tags_;
+    /** LRU stamps, split out of Block the same way tags_ is: the install
+     *  victim scan reads one stamp per way, so a packed row costs two
+     *  cache lines instead of the whole Block row, and the hit path's
+     *  stamp refresh stays a single 8-byte store. lru_[i] is only
+     *  meaningful while tags_[i] != kNoTag. */
+    std::vector<std::uint64_t> lru_;
     std::uint64_t lruTick_ = 0;
 
     MshrTable mshrs_; //!< keyed by block address; capacity = MSHR limit
+
+    /** Blocking-state generation: bumped whenever state that decides the
+     *  MSHR structural-stall branch mutates (tag array contents, MSHR
+     *  table membership, per-core quota counts, snapshot restore). A
+     *  parked request whose parkGen still matches would re-park with the
+     *  identical classification, so retryNow() skips the re-probe and
+     *  replays only the stall's observable side effects. Starts at 1 so
+     *  a pool-fresh request (parkGen 0) never matches. */
+    std::uint64_t stateGen_ = 1;
 
     /** Waiter list of the MSHR currently being filled; a member so its
      *  capacity is reused across every requestDone call. */
@@ -352,6 +362,11 @@ class Cache : public MemLevel, public RequestClient
         Counter& metadataWrites;
     };
     HotCounters ctr_{stats_};
+
+    /** Lazily registered (fires only on arbitrated caches) so snapshot
+     *  counter maps stay identical to the per-site counter() lookups it
+     *  replaces; see HotCounter's contract in common/stats.hh. */
+    HotCounter quotaStalls_{stats_, "mshr_quota_stalls"};
 };
 
 } // namespace sl

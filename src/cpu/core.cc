@@ -37,7 +37,8 @@ Core::step(Cycle now)
         instrRetired_ += head.weight;
         if (head.endsRecord)
             onRecordRetired(now);
-        robHead_ = (robHead_ + 1) % rob_.size();
+        if (++robHead_ == rob_.size())
+            robHead_ = 0;
         --robCount_;
         progress = true;
     }
@@ -54,15 +55,18 @@ Core::tryDispatch(Cycle now)
     bool progress = false;
 
     while (dispatched < params_.width && robCount_ < rob_.size()) {
-        const TraceRecord& rec =
-            trace_->records[recordIdx_ % trace_->records.size()];
+        const TraceRecord& rec = trace_->records[recordPos_];
 
         if (!bubblesPrimed_) {
             bubblesLeft_ = rec.bubbles;
             bubblesPrimed_ = true;
         }
 
-        const std::size_t slot = (robHead_ + robCount_) % rob_.size();
+        // Ring arithmetic without the 64-bit divide: robHead_ < size and
+        // robCount_ < size here, so one conditional subtract wraps.
+        std::size_t slot = robHead_ + robCount_;
+        if (slot >= rob_.size())
+            slot -= rob_.size();
         RobEntry& e = rob_[slot];
 
         if (bubblesLeft_ > 0) {
@@ -87,6 +91,11 @@ Core::tryDispatch(Cycle now)
             const RobEntry& dep = rob_[lastLoadSlot_];
             if (dep.slotGen == lastLoadGen_ &&
                 (dep.doneAt == kNoCycle || dep.doneAt > now)) {
+                // Remember the blocker for nextWake(): with inline
+                // response delivery its completion cycle may exist only
+                // in the ROB entry, not as a pending event.
+                blockedOnSlot_ = lastLoadSlot_;
+                blockedOnGen_ = lastLoadGen_;
                 break;
             }
         }
@@ -107,6 +116,7 @@ Core::tryDispatch(Cycle now)
         if (rec.type == AccessType::Load) {
             req->kind = ReqKind::DemandLoad;
             req->client = this;
+            req->directRespond = true;
             req->tag = (static_cast<std::uint64_t>(slot) << 32) | e.slotGen;
             e.doneAt = kNoCycle;
             lastLoadSlot_ = slot;
@@ -124,6 +134,8 @@ Core::tryDispatch(Cycle now)
         ++robCount_;
         ++dispatched;
         ++recordIdx_;
+        if (++recordPos_ == trace_->records.size())
+            recordPos_ = 0;
         bubblesPrimed_ = false;
         progress = true;
     }
@@ -189,12 +201,22 @@ Core::nextWake(Cycle now) const
 {
     // Only consulted after a step() that made no progress, which implies
     // dispatch is blocked and the ROB head is incomplete: the next thing
-    // that can happen locally is the head completing at a known cycle.
-    // Loads waiting on memory wake through the event queue instead.
+    // that can happen locally is the head completing, or the dependent
+    // load dispatch last broke on completing. Both completion cycles may
+    // live only in the ROB (loads respond inline, no Respond event), so
+    // fold each in; loads still waiting on memory wake through their
+    // pending downstream events. kNoCycle is the max Cycle, so min() is
+    // safe against unknown completions.
     (void)now;
     if (robCount_ == 0)
         return kNoCycle;
-    return rob_[robHead_].doneAt;
+    Cycle wake = rob_[robHead_].doneAt;
+    if (blockedOnSlot_ != SIZE_MAX) {
+        const RobEntry& dep = rob_[blockedOnSlot_];
+        if (dep.slotGen == blockedOnGen_ && dep.doneAt < wake)
+            wake = dep.doneAt;
+    }
+    return wake;
 }
 
 std::uint64_t

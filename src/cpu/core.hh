@@ -136,6 +136,8 @@ class Core : public RequestClient
         s.io(robCount_);
         s.io(slotGen_);
         s.io(recordIdx_);
+        if (s.loading()) // derived: re-wrap the cursor (one divide)
+            recordPos_ = recordIdx_ % trace_->records.size();
         s.io(bubblesLeft_);
         s.io(bubblesPrimed_);
         s.io(lastLoadSlot_);
@@ -185,8 +187,12 @@ class Core : public RequestClient
     std::size_t robCount_ = 0;
     std::uint64_t slotGen_ = 0;
 
-    // Trace cursor.
+    // Trace cursor. recordIdx_ counts dispatched records monotonically
+    // (progress accounting, diagnostics); recordPos_ is the same cursor
+    // pre-wrapped into [0, records.size()) so the dispatch loop indexes
+    // without a 64-bit modulo. Invariant: recordPos_ == recordIdx_ % n.
     std::size_t recordIdx_ = 0;
+    std::size_t recordPos_ = 0;
     unsigned bubblesLeft_ = 0;   //!< bubbles of the current record not yet
                                  //!< dispatched
     bool bubblesPrimed_ = false;
@@ -194,6 +200,13 @@ class Core : public RequestClient
     // Pointer-chase serialisation.
     std::size_t lastLoadSlot_ = SIZE_MAX;
     std::uint64_t lastLoadGen_ = 0;
+
+    /** Dependent load that tryDispatch() last broke on, for nextWake():
+     *  inline response delivery means its completion cycle may exist
+     *  only in the ROB entry. Not serialized — the first post-restore
+     *  step() re-records it before nextWake() is ever consulted. */
+    std::size_t blockedOnSlot_ = SIZE_MAX;
+    std::uint64_t blockedOnGen_ = 0;
 
     // Progress accounting.
     std::uint64_t instrRetired_ = 0;

@@ -1,6 +1,7 @@
 #include "dram/dram.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "telemetry/telemetry.hh"
@@ -74,9 +75,24 @@ Dram::Dram(const DramParams& params, EventQueue& eq)
     burstCycles_ = std::max<Cycle>(
         1, static_cast<Cycle>(std::ceil(seconds * params_.coreGHz * 1e9)));
 
+    auto pow2 = [](std::uint64_t v) { return (v & (v - 1)) == 0; };
+    if (pow2(params_.channels) && pow2(banksPerChannel_) &&
+        pow2(params_.rowsPerBank)) {
+        pow2Decode_ = true;
+        chShift_ = static_cast<unsigned>(
+            std::countr_zero(std::uint64_t{params_.channels}));
+        chMask_ = params_.channels - 1;
+        bankShift_ = static_cast<unsigned>(
+            std::countr_zero(std::uint64_t{banksPerChannel_}));
+        bankMask_ = banksPerChannel_ - 1;
+        rowMask_ = params_.rowsPerBank - 1;
+    }
+
     if (params_.scheduled()) {
         channels_.resize(params_.channels);
         inFlight_.resize(params_.requestors, 0);
+        firstIdx_.resize(params_.requestors);
+        firstHitIdx_.resize(params_.requestors);
         coreBytes_.reserve(params_.requestors);
         for (unsigned c = 0; c < params_.requestors; ++c)
             coreBytes_.push_back(&stats_.counter(
@@ -107,8 +123,21 @@ Dram::decode(Addr addr) const
     // 8KB rows (128 blocks) interleave across banks, so streams enjoy
     // row locality while spreading over banks every row.
     constexpr std::uint64_t kBlocksPerRow = 128;
+    constexpr unsigned kBlocksPerRowShift = 7;
     const std::uint64_t block = blockNumber(addr);
     Decoded d;
+    if (pow2Decode_) {
+        // Exact shift/mask form of the divide path below (all factors
+        // are powers of two); this runs on every access, and three
+        // 64-bit divides per decode show up in the DRAM-bound cells.
+        d.channel = static_cast<unsigned>(block & chMask_);
+        const std::uint64_t in_channel = block >> chShift_;
+        d.bank = static_cast<std::uint32_t>(
+            (in_channel >> kBlocksPerRowShift) & bankMask_);
+        d.row = static_cast<std::uint32_t>(
+            (in_channel >> (kBlocksPerRowShift + bankShift_)) & rowMask_);
+        return d;
+    }
     d.channel = static_cast<unsigned>(block % params_.channels);
     const std::uint64_t in_channel = block / params_.channels;
     d.bank = static_cast<std::uint32_t>(
@@ -245,6 +274,8 @@ Dram::enqueueScheduled(MemRequest* req, Cycle now)
         c.readQ.push_back(e);
         ++queuedReads_;
         ++inFlight_[e.core];
+        if (e.demand)
+            ++c.demandQueued;
         notePeak("read_q_peak", c.readQ.size());
     }
 
@@ -301,32 +332,34 @@ Dram::tickChannel(unsigned ch, Cycle now)
         // serviced core), and within a core's turn row hits go first,
         // then FCFS.
         q = &c.readQ;
-        bool any_demand = false;
-        for (const QueuedReq& e : *q) {
-            if (e.demand) {
-                any_demand = true;
-                break;
-            }
-        }
+        const bool any_demand = c.demandQueued > 0;
         const unsigned n = params_.requestors;
+        // One pass over the queue collects, per core, the oldest
+        // winning-class entry and the oldest winning-class row hit;
+        // the rotation below then reads those instead of rescanning
+        // the queue once per core. Pick order is unchanged: within a
+        // core's turn the first row hit in FIFO order wins outright,
+        // else the core's oldest entry.
+        constexpr std::uint32_t kNone = ~std::uint32_t{0};
+        std::fill(firstIdx_.begin(), firstIdx_.end(), kNone);
+        std::fill(firstHitIdx_.begin(), firstHitIdx_.end(), kNone);
+        for (std::size_t i = 0; i < q->size(); ++i) {
+            const QueuedReq& e = (*q)[i];
+            if (e.demand != any_demand)
+                continue;
+            const auto core = static_cast<std::size_t>(e.core);
+            if (firstIdx_[core] == kNone)
+                firstIdx_[core] = static_cast<std::uint32_t>(i);
+            if (firstHitIdx_[core] == kNone && row_hit(e))
+                firstHitIdx_[core] = static_cast<std::uint32_t>(i);
+        }
         pick = q->size();
         for (unsigned off = 0; off < n && pick == q->size(); ++off) {
-            const std::int32_t core =
-                static_cast<std::int32_t>((c.rrNext + off) % n);
-            std::size_t first = q->size();
-            for (std::size_t i = 0; i < q->size(); ++i) {
-                const QueuedReq& e = (*q)[i];
-                if (e.core != core || e.demand != any_demand)
-                    continue;
-                if (row_hit(e)) {
-                    pick = i; // row hit wins the core's turn outright
-                    break;
-                }
-                if (first == q->size())
-                    first = i;
-            }
-            if (pick == q->size())
-                pick = first; // oldest queued for this core (may be none)
+            const std::size_t core = (c.rrNext + off) % n;
+            if (firstHitIdx_[core] != kNone)
+                pick = firstHitIdx_[core];
+            else if (firstIdx_[core] != kNone)
+                pick = firstIdx_[core];
         }
         SL_CHECK_AT(pick < q->size(), "dram", now,
                     "scheduler found no candidate in a nonempty read "
@@ -349,6 +382,8 @@ Dram::tickChannel(unsigned ch, Cycle now)
     } else {
         --queuedReads_;
         --inFlight_[e.core];
+        if (e.demand)
+            --c.demandQueued;
         readQWaitCtr_ += now - e.arrival;
     }
     *coreBytes_[e.core] += kBlockBytes;
@@ -413,6 +448,12 @@ Dram::serializeState(Serializer& s, const SnapshotCtx& ctx)
         s.io(c.draining);
         s.io(c.tickArmed);
         s.io(c.rrNext);
+        if (s.loading()) { // derived: recount queued demand reads
+            c.demandQueued = 0;
+            for (const QueuedReq& e : c.readQ)
+                if (e.demand)
+                    ++c.demandQueued;
+        }
     }
     if (!channels_.empty()) {
         s.io(inFlight_);

@@ -154,6 +154,9 @@ class Dram : public MemLevel
         bool draining = false;   //!< in a write-drain batch
         bool tickArmed = false;  //!< a DramTick event is pending
         std::uint32_t rrNext = 0; //!< round-robin core cursor
+        /** Queued demand reads in readQ. Replaces the per-tick
+         *  any-demand scan; recomputed from readQ on snapshot load. */
+        std::uint32_t demandQueued = 0;
     };
 
     struct Decoded
@@ -190,6 +193,17 @@ class Dram : public MemLevel
     std::vector<Cycle> busFreeAt_;
     unsigned banksPerChannel_ = 0;
     Cycle tCas_, tRcd_, tRp_, burstCycles_, controllerCycles_;
+    /** Shift/mask decode fast path, valid when channels, banks/channel,
+     *  and rows/bank are all powers of two (every stock configuration).
+     *  For unsigned values, x % 2^k == x & (2^k - 1) and x / 2^k ==
+     *  x >> k exactly, so the fast path is bit-identical to the divide
+     *  path it replaces. */
+    bool pow2Decode_ = false;
+    unsigned chShift_ = 0;
+    std::uint64_t chMask_ = 0;
+    unsigned bankShift_ = 0;
+    std::uint64_t bankMask_ = 0;
+    std::uint64_t rowMask_ = 0;
     StatGroup stats_;
 
     // ---- scheduler state (sized only when params_.scheduled()) ----
@@ -197,6 +211,11 @@ class Dram : public MemLevel
     /** Per-requestor queued-request counts (in-flight accounting: the
      *  fairness rotation and the MemPressure probe both read these). */
     std::vector<std::uint32_t> inFlight_;
+    /** Per-core {oldest, oldest-row-hit} read-queue candidates, filled
+     *  by one pass over the queue per scheduling tick (scratch; sized
+     *  to requestors in scheduled mode, never serialized). */
+    std::vector<std::uint32_t> firstIdx_;
+    std::vector<std::uint32_t> firstHitIdx_;
     std::size_t queuedReads_ = 0;
     std::size_t queuedWrites_ = 0;
     /** Per-requestor serviced-byte counters, registered eagerly at

@@ -56,6 +56,42 @@ tuningFor(const RunConfig& cfg)
     return t;
 }
 
+/**
+ * SL_DUMP_STATS=1: print every component's complete counter map after a
+ * run, in deterministic (construction, then key-sorted) order. The dump
+ * is a perf-refactor safety net -- two builds claiming bit-identical
+ * behaviour must produce byte-identical dumps -- and a debugging aid.
+ */
+void
+dumpSystemStats(System& sys, std::ostream& os)
+{
+    auto group = [&](const StatGroup& g) {
+        for (const auto& [k, v] : g.counters())
+            os << g.name() << "." << k << " = " << v.value() << "\n";
+    };
+    os << "==STATS==\n";
+    for (unsigned c = 0; c < sys.cores(); ++c)
+        group(sys.core(c).stats());
+    for (unsigned c = 0; c < sys.cores(); ++c)
+        group(sys.l1d(c).stats());
+    for (unsigned c = 0; c < sys.cores(); ++c)
+        group(sys.l2(c).stats());
+    group(sys.llc().stats());
+    group(sys.dram().stats());
+    for (unsigned c = 0; c < sys.cores(); ++c) {
+        if (Prefetcher* pf = sys.l1dPrefetcher(c))
+            group(pf->stats());
+        if (Prefetcher* pf = sys.l2Prefetcher(c)) {
+            group(pf->stats());
+            if (const StatGroup* store = pf->metadataStoreStats())
+                group(*store);
+        }
+    }
+    if (MemPressure* mp = sys.memPressure())
+        group(mp->stats());
+    os << "==ENDSTATS==\n";
+}
+
 } // namespace
 
 void
@@ -272,6 +308,10 @@ runWorkloadsRaw(const RunConfig& cfg,
         t->writeOutputs();
         res.telemetry = std::make_shared<const TelemetryData>(t->data());
     }
+
+    if (const char* dump = std::getenv("SL_DUMP_STATS");
+        dump && dump[0] == '1')
+        dumpSystemStats(sys, std::cout);
 
     return res;
 }

@@ -197,6 +197,9 @@ System::serializeState(Serializer& s, const SnapshotCtx& ctx)
         ctx.ioComp(s, r->client);
         s.io(r->tag);
         s.io(r->retried);
+        s.io(r->directRespond);
+        s.io(r->parkQuotaStall);
+        s.io(r->parkGen);
         ctx.ioComp(s, r->origin);
     }
 

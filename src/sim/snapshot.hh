@@ -36,7 +36,7 @@ namespace sl
 class System;
 
 /** On-disk snapshot format version; bump on any payload layout change. */
-constexpr std::uint32_t kSnapshotVersion = 2;
+constexpr std::uint32_t kSnapshotVersion = 3;
 
 /**
  * Serialize the full dynamic state of @p sys, paused between cycles at

@@ -1,0 +1,264 @@
+#include "trace/trace_cache.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/error.hh"
+#include "common/serializer.hh"
+
+namespace sl
+{
+
+/** Private access to Trace internals for the loader: primes the lazy
+ *  instruction-count cache from the header so a warm load never walks
+ *  (and pages in) the whole record payload just to report a count. */
+class TraceCacheAccess
+{
+  public:
+    static void
+    primeInstructionCount(const Trace& t, std::uint64_t n)
+    {
+        t.cachedInstructions_.store(n, std::memory_order_relaxed);
+    }
+};
+
+namespace
+{
+
+/** Fixed 128-byte on-disk header. Every field is explicitly sized and
+ *  naturally aligned, so the struct layout is the file layout. */
+struct TraceCacheHeader
+{
+    std::uint32_t magic;
+    std::uint32_t version;     //!< kTraceCacheVersion
+    std::uint32_t genVersion;  //!< kTraceGenVersion at write time
+    std::uint32_t recordBytes; //!< sizeof(TraceRecord) at write time
+    std::uint64_t recordCount;
+    std::uint64_t warmupRecords;
+    std::uint64_t instructionCount;
+    double scale;        //!< identity echo (the file name also keys it)
+    std::uint64_t seed;
+    std::uint8_t suite;
+    std::uint8_t nameLen;
+    char name[38];       //!< workload name, NUL-padded (identity echo)
+    std::uint32_t payloadCrc;
+    std::uint32_t headerCrc; //!< CRC of bytes [0, offsetof(headerCrc))
+    std::uint8_t pad[24];
+};
+
+static_assert(sizeof(TraceCacheHeader) == 128,
+              "trace cache header must stay exactly 128 bytes");
+static_assert(offsetof(TraceCacheHeader, headerCrc) == 100,
+              "header CRC must cover the first 100 bytes");
+
+constexpr const char* kComp = "trace_cache";
+
+/** Process-wide directory override; empty optional = none active. */
+std::optional<std::string>&
+dirOverride()
+{
+    static std::optional<std::string> dir;
+    return dir;
+}
+
+/** RAII mmap region; doubles as the RecordSeq keepalive. */
+struct Mapping
+{
+    void* base = MAP_FAILED;
+    std::size_t len = 0;
+
+    ~Mapping()
+    {
+        if (base != MAP_FAILED)
+            ::munmap(base, len);
+    }
+};
+
+} // namespace
+
+void
+setTraceCacheDir(std::string dir)
+{
+    dirOverride() = std::move(dir);
+}
+
+std::string
+traceCacheDir()
+{
+    if (dirOverride().has_value())
+        return *dirOverride();
+    if (const char* env = std::getenv("SL_TRACE_CACHE"))
+        return env;
+    return "";
+}
+
+std::string
+traceCachePath(const std::string& dir, const std::string& name,
+               double scale, std::uint64_t seed)
+{
+    // %.17g round-trips every double, so distinct scales never collide
+    // on one file; the generator version keys the name so old and new
+    // generators can share a directory without thrashing each other.
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "_s%.17g_r%llu_g%u.sltc", scale,
+                  static_cast<unsigned long long>(seed), kTraceGenVersion);
+    return dir + "/" + name + buf;
+}
+
+TracePtr
+loadCachedTrace(const std::string& path, const std::string& name,
+                double scale, std::uint64_t seed)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        if (errno == ENOENT)
+            return nullptr; // plain miss
+        SL_CHECK(false, kComp,
+                 "cannot open trace cache file " << path << ": "
+                     << std::strerror(errno));
+    }
+
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        SL_CHECK(false, kComp,
+                 "cannot stat trace cache file " << path << ": "
+                     << std::strerror(errno));
+    }
+    const auto fileLen = static_cast<std::size_t>(st.st_size);
+
+    auto map = std::make_shared<Mapping>();
+    if (fileLen > 0)
+        map->base = ::mmap(nullptr, fileLen, PROT_READ, MAP_SHARED, fd, 0);
+    map->len = fileLen;
+    ::close(fd); // the mapping keeps the file alive
+    SL_CHECK(fileLen == 0 || map->base != MAP_FAILED, kComp,
+             "cannot map trace cache file " << path << ": "
+                 << std::strerror(errno));
+
+    SL_CHECK(fileLen >= sizeof(TraceCacheHeader), kComp,
+             "truncated trace cache file " << path << ": " << fileLen
+                 << " bytes is smaller than the " << sizeof(TraceCacheHeader)
+                 << "-byte header");
+
+    TraceCacheHeader h;
+    std::memcpy(&h, map->base, sizeof(h));
+
+    SL_CHECK(h.magic == kTraceCacheMagic, kComp,
+             "bad magic in trace cache file " << path
+                 << " (not a trace cache file)");
+    SL_CHECK(h.version == kTraceCacheVersion, kComp,
+             "unsupported trace cache format version " << h.version
+                 << " in " << path << " (this build reads version "
+                 << kTraceCacheVersion << ")");
+    SL_CHECK(crc32(&h, offsetof(TraceCacheHeader, headerCrc)) ==
+                 h.headerCrc,
+             kComp, "header CRC mismatch in trace cache file " << path);
+    SL_CHECK(h.genVersion == kTraceGenVersion, kComp,
+             "generator version mismatch in trace cache file " << path
+                 << " (file " << h.genVersion << ", this build "
+                 << kTraceGenVersion << ")");
+    SL_CHECK(h.recordBytes == sizeof(TraceRecord), kComp,
+             "record size mismatch in trace cache file " << path
+                 << " (file " << h.recordBytes << "B, this build "
+                 << sizeof(TraceRecord) << "B)");
+
+    const std::size_t nameLen =
+        std::min<std::size_t>(h.nameLen, sizeof(h.name));
+    SL_CHECK(std::string_view(h.name, nameLen) == name &&
+                 h.scale == scale && h.seed == seed,
+             kComp, "identity mismatch in trace cache file " << path
+                        << ": header says workload "
+                        << std::string(h.name, nameLen) << " scale "
+                        << h.scale << " seed " << h.seed);
+
+    const std::size_t payloadLen =
+        static_cast<std::size_t>(h.recordCount) * sizeof(TraceRecord);
+    SL_CHECK(fileLen == sizeof(TraceCacheHeader) + payloadLen, kComp,
+             "truncated trace cache file " << path << ": header promises "
+                 << h.recordCount << " records ("
+                 << sizeof(TraceCacheHeader) + payloadLen
+                 << " bytes), file has " << fileLen);
+
+    const auto* payload =
+        static_cast<const unsigned char*>(map->base) +
+        sizeof(TraceCacheHeader);
+    SL_CHECK(crc32(payload, payloadLen) == h.payloadCrc, kComp,
+             "payload CRC mismatch in trace cache file " << path);
+
+    auto t = std::make_shared<Trace>();
+    t->name = name;
+    t->suite = static_cast<Suite>(h.suite);
+    t->warmupRecords = static_cast<std::size_t>(h.warmupRecords);
+    t->records = RecordSeq(
+        reinterpret_cast<const TraceRecord*>(payload),
+        static_cast<std::size_t>(h.recordCount),
+        std::shared_ptr<const void>(map, map->base));
+    TraceCacheAccess::primeInstructionCount(*t, h.instructionCount);
+    return t;
+}
+
+bool
+storeCachedTrace(const std::string& path, const Trace& t, double scale,
+                 std::uint64_t seed)
+{
+    TraceCacheHeader h{};
+    h.magic = kTraceCacheMagic;
+    h.version = kTraceCacheVersion;
+    h.genVersion = kTraceGenVersion;
+    h.recordBytes = sizeof(TraceRecord);
+    h.recordCount = t.records.size();
+    h.warmupRecords = t.warmupRecords;
+    h.instructionCount = t.instructionCount();
+    h.scale = scale;
+    h.seed = seed;
+    h.suite = static_cast<std::uint8_t>(t.suite);
+    h.nameLen = static_cast<std::uint8_t>(
+        std::min(t.name.size(), sizeof(h.name)));
+    std::memcpy(h.name, t.name.data(), h.nameLen);
+    const std::size_t payloadLen =
+        t.records.size() * sizeof(TraceRecord);
+    h.payloadCrc = crc32(t.records.data(), payloadLen);
+    h.headerCrc = crc32(&h, offsetof(TraceCacheHeader, headerCrc));
+
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+    if (ec)
+        return false;
+
+    // Same-directory temp file + rename: readers either see the old
+    // file or the complete new one, never a torn write. The pid suffix
+    // keeps concurrent producers (batch workers, parallel sweeps) off
+    // each other's temp files; they publish identical bytes anyway.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool wrote =
+        std::fwrite(&h, sizeof(h), 1, f) == 1 &&
+        (payloadLen == 0 ||
+         std::fwrite(t.records.data(), payloadLen, 1, f) == 1);
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed ||
+        std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace sl

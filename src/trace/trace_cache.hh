@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Persistent, mmap-able binary cache for synthesized workload traces.
+ *
+ * Trace synthesis is deterministic per (workload, scale, seed) but costs
+ * hundreds of milliseconds per workload at full scale — more than the
+ * simulation itself for short sweep cells. When the SL_TRACE_CACHE
+ * environment variable (or setTraceCacheDir()) names a directory,
+ * getTrace() consults it before running the generator kernel and
+ * publishes freshly generated traces into it, so every later run — in
+ * this process or any other — maps the records straight from the page
+ * cache instead of re-executing the kernel.
+ *
+ * File format (little-endian, fixed 128-byte header, then the raw
+ * TraceRecord payload):
+ *
+ *   [0, 128)            TraceCacheHeader (magic "SLTC", format version,
+ *                       generator version, record size, counts, identity
+ *                       echo, payload CRC-32, header CRC-32)
+ *   [128, 128 + 16 * n) n TraceRecords, byte-for-byte as in memory
+ *
+ * Files are keyed by (workload, scale, seed, generator version) in the
+ * file name and the identity is echoed in the header, so a cache
+ * directory can be shared across configurations. Loads map the file
+ * read-only (MAP_SHARED) and hand the simulator a zero-copy RecordSeq
+ * view; the mapping is reference-counted and unmapped when the last
+ * TracePtr drops. Every load re-verifies both CRCs, so torn writes and
+ * bit rot surface as distinct SimErrors that getTrace() converts into
+ * transparent regeneration. Writes go through a same-directory temp
+ * file and an atomic rename, so concurrent producers never publish a
+ * partial file.
+ */
+
+#ifndef SL_TRACE_TRACE_CACHE_HH
+#define SL_TRACE_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace sl
+{
+
+/** File magic: "SLTC" in byte order. */
+constexpr std::uint32_t kTraceCacheMagic = 0x43544c53u;
+
+/** On-disk format version; bump on any header/payload layout change. */
+constexpr std::uint32_t kTraceCacheVersion = 1;
+
+/**
+ * Generator version: bump whenever any workload kernel (or the
+ * TraceRecorder bubble expansion) changes the records it emits, so
+ * stale cache entries from older generators are rejected and rebuilt.
+ */
+constexpr std::uint32_t kTraceGenVersion = 1;
+
+/**
+ * Override the cache directory: a path enables the cache there, ""
+ * disables it regardless of SL_TRACE_CACHE. Tests use this to point at
+ * scratch space; call with no override active to fall back to the
+ * environment. Not thread-safe against concurrent getTrace() calls —
+ * set it before spawning batch workers.
+ */
+void setTraceCacheDir(std::string dir);
+
+/** Active cache directory: the setTraceCacheDir() override if one was
+ *  set, else SL_TRACE_CACHE, else "" (cache disabled). */
+std::string traceCacheDir();
+
+/** Cache file path for one trace identity inside @p dir. */
+std::string traceCachePath(const std::string& dir, const std::string& name,
+                           double scale, std::uint64_t seed);
+
+/**
+ * Load one cached trace. Returns null when @p path does not exist (a
+ * plain miss). Throws SimError (component "trace_cache") with distinct
+ * messages for a truncated file, bad magic, unsupported format version,
+ * generator version mismatch, record-size mismatch, identity mismatch,
+ * and header/payload CRC mismatches. On success the returned trace's
+ * records alias the read-only file mapping.
+ */
+TracePtr loadCachedTrace(const std::string& path, const std::string& name,
+                         double scale, std::uint64_t seed);
+
+/**
+ * Publish @p t at @p path (temp file + atomic rename). Best-effort:
+ * returns false on any I/O failure without throwing — a run never fails
+ * because its trace could not be cached.
+ */
+bool storeCachedTrace(const std::string& path, const Trace& t,
+                      double scale, std::uint64_t seed);
+
+} // namespace sl
+
+#endif // SL_TRACE_TRACE_CACHE_HH
