@@ -11,12 +11,27 @@
  * `simspeed` stage snapshots the result into BENCH_simspeed.json at the
  * repo root so successive PRs accumulate a perf trajectory.
  *
+ * Each cell reports both the best (minimum wall) and the median
+ * repetition: best-of is the least noisy estimate of the code's true
+ * speed, the median is what the check.sh floors gate on -- a single
+ * lucky rep can't mask a regression, a single unlucky one can't fail
+ * the build.
+ *
+ * A second matrix times the same temporal-prefetcher cells under
+ * fast-wake scheduling (SchedMode::FastWake, DESIGN.md §14) back-to-back
+ * against default mode and reports the speedup ratio; check.sh's
+ * `fastwake` stage gates that ratio on the gap_bfs cells.
+ *
  * Knobs: SL_BENCH_SCALE (trace scale, default 0.25), SL_SIMSPEED_REPS
- * (repetitions per cell, best-of is reported; default 3). Jobs always
- * run serially on one thread: this bench measures single-job latency,
- * not batch throughput.
+ * (repetitions per cell; default 3), SL_SIMSPEED_FASTWAKE_ONLY=1 (skip
+ * the main/multicore/telemetry sections and run just the fast-wake
+ * matrix -- check.sh's `fastwake` stage uses this to gate the speedup
+ * ratio at the acceptance scale without paying for the full matrix).
+ * Jobs always run serially on one thread: this bench measures
+ * single-job latency, not batch throughput.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -39,7 +54,8 @@ struct Cell
     std::uint64_t simCycles = 0;
     std::uint64_t retired = 0;
     std::uint64_t metadataOps = 0;
-    double wallSeconds = 0; //!< best (minimum) over the repetitions
+    double wallSeconds = 0;       //!< best (minimum) over the repetitions
+    double wallMedianSeconds = 0; //!< median over the repetitions
 };
 
 unsigned
@@ -60,7 +76,8 @@ reps()
 Cell
 timeCell(const std::string& config, const std::string& l2,
          const std::string& workload, double scale, unsigned repetitions,
-         const TelemetryConfig* telemetry = nullptr, unsigned cores = 1)
+         const TelemetryConfig* telemetry = nullptr, unsigned cores = 1,
+         SchedMode sched = SchedMode::Default)
 {
     PrefetcherRegistry& reg = prefetcherRegistry();
     const PrefetcherTuning tuning; // registry defaults for every family
@@ -68,12 +85,15 @@ timeCell(const std::string& config, const std::string& l2,
     Cell cell;
     cell.config = config;
     cell.workload = workload;
+    std::vector<double> walls;
+    walls.reserve(repetitions);
     for (unsigned r = 0; r < repetitions; ++r) {
         std::vector<TracePtr> traces;
         for (unsigned c = 0; c < cores; ++c)
             traces.push_back(getTrace(workload, scale, /*seed=*/1));
         SystemConfig sc;
         sc.cores = cores;
+        sc.sched = sched;
         sc.l1dPrefetcher =
             reg.make("stride", PrefetcherRegistry::L1, tuning);
         sc.l2Prefetcher = reg.make(l2, PrefetcherRegistry::L2, tuning);
@@ -86,6 +106,7 @@ timeCell(const std::string& config, const std::string& l2,
         const double wall = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - t0)
                                 .count();
+        walls.push_back(wall);
 
         if (r == 0 || wall < cell.wallSeconds) {
             cell.wallSeconds = wall;
@@ -95,6 +116,10 @@ timeCell(const std::string& config, const std::string& l2,
             cell.metadataOps = pf ? pf->metadataOps() : 0;
         }
     }
+    // Median: upper middle element for even counts -- the conservative
+    // (slower) pick, so the gated number never flatters the build.
+    std::sort(walls.begin(), walls.end());
+    cell.wallMedianSeconds = walls[walls.size() / 2];
     return cell;
 }
 
@@ -103,6 +128,15 @@ kcps(const Cell& c)
 {
     return c.wallSeconds > 0
                ? static_cast<double>(c.simCycles) / 1e3 / c.wallSeconds
+               : 0;
+}
+
+double
+kcpsMedian(const Cell& c)
+{
+    return c.wallMedianSeconds > 0
+               ? static_cast<double>(c.simCycles) / 1e3 /
+                     c.wallMedianSeconds
                : 0;
 }
 
@@ -120,6 +154,21 @@ mops(std::uint64_t metadata_ops, double wall)
     return wall > 0 ? static_cast<double>(metadata_ops) / wall : 0;
 }
 
+/** The best-of/median fields shared by every cell-shaped JSON note. */
+std::string
+cellJsonFields(const Cell& c)
+{
+    return ",\"sim_cycles\":" + std::to_string(c.simCycles) +
+           ",\"retired_instructions\":" + std::to_string(c.retired) +
+           ",\"wall_seconds\":" + sl::jsonNumber(c.wallSeconds) +
+           ",\"wall_seconds_median\":" +
+           sl::jsonNumber(c.wallMedianSeconds) +
+           ",\"sim_kcycles_per_sec\":" + sl::jsonNumber(kcps(c)) +
+           ",\"sim_kcycles_per_sec_median\":" +
+           sl::jsonNumber(kcpsMedian(c)) +
+           ",\"retired_mips\":" + sl::jsonNumber(mips(c));
+}
+
 } // namespace
 
 int
@@ -130,7 +179,8 @@ main()
     sl::bench::banner("bench_simspeed");
     const double scale = sl::bench::benchScale();
     const unsigned repetitions = reps();
-    std::printf("   %u repetition(s) per cell, best-of reported\n",
+    std::printf("   %u repetition(s) per cell, best-of and median "
+                "reported\n",
                 repetitions);
 
     // The matrix: the paper's own scheme, both temporal baselines, and
@@ -145,61 +195,114 @@ main()
     const std::vector<std::string> workloads = {"spec06_mcf",
                                                 "spec06_omnetpp", "gap_bfs"};
 
-    std::printf("%-12s %-15s %12s %12s %10s %12s %10s %12s\n", "config",
-                "workload", "sim_Mcycles", "retired_Mi", "wall_s",
-                "kcycles/s", "MIPS", "meta_ops/s");
+    std::printf("%-12s %-15s %12s %12s %10s %12s %12s %10s %12s\n",
+                "config", "workload", "sim_Mcycles", "retired_Mi",
+                "wall_s", "kcycles/s", "kc/s_median", "MIPS",
+                "meta_ops/s");
+
+    const char* fw_only_env = std::getenv("SL_SIMSPEED_FASTWAKE_ONLY");
+    const bool fastwake_only = fw_only_env && fw_only_env[0] == '1';
 
     Cell telemetry_off; // streamline/spec06_mcf, reused by the probe below
     for (const auto& [name, l2] : configs) {
+        if (fastwake_only)
+            break;
         std::uint64_t cfg_cycles = 0;
         std::uint64_t cfg_retired = 0;
         std::uint64_t cfg_meta = 0;
         double cfg_wall = 0;
+        double cfg_wall_median = 0;
         for (const auto& w : workloads) {
             const Cell c = timeCell(name, l2, w, scale, repetitions);
             if (name == "streamline" && w == "spec06_mcf")
                 telemetry_off = c;
-            std::printf("%-12s %-15s %12.1f %12.1f %10.3f %12.0f %10.1f "
-                        "%12.0f\n",
+            std::printf("%-12s %-15s %12.1f %12.1f %10.3f %12.0f %12.0f "
+                        "%10.1f %12.0f\n",
                         c.config.c_str(), c.workload.c_str(),
                         c.simCycles / 1e6, c.retired / 1e6, c.wallSeconds,
-                        kcps(c), mips(c),
+                        kcps(c), kcpsMedian(c), mips(c),
                         mops(c.metadataOps, c.wallSeconds));
             JsonReport::instance().note(
                 "{\"kind\":\"simspeed_cell\",\"config\":\"" + c.config +
-                "\",\"workload\":\"" + c.workload +
-                "\",\"sim_cycles\":" + std::to_string(c.simCycles) +
-                ",\"retired_instructions\":" + std::to_string(c.retired) +
+                "\",\"workload\":\"" + c.workload + "\"" +
+                cellJsonFields(c) +
                 ",\"metadata_ops\":" + std::to_string(c.metadataOps) +
-                ",\"wall_seconds\":" + sl::jsonNumber(c.wallSeconds) +
-                ",\"sim_kcycles_per_sec\":" + sl::jsonNumber(kcps(c)) +
-                ",\"retired_mips\":" + sl::jsonNumber(mips(c)) +
                 ",\"metadata_ops_per_sec\":" +
                 sl::jsonNumber(mops(c.metadataOps, c.wallSeconds)) + "}");
             cfg_cycles += c.simCycles;
             cfg_retired += c.retired;
             cfg_meta += c.metadataOps;
             cfg_wall += c.wallSeconds;
+            cfg_wall_median += c.wallMedianSeconds;
         }
         const double cfg_kcps =
             cfg_wall > 0 ? cfg_cycles / 1e3 / cfg_wall : 0;
+        const double cfg_kcps_median =
+            cfg_wall_median > 0 ? cfg_cycles / 1e3 / cfg_wall_median : 0;
         const double cfg_mips =
             cfg_wall > 0 ? cfg_retired / 1e6 / cfg_wall : 0;
-        std::printf("%-12s %-15s %12.1f %12.1f %10.3f %12.0f %10.1f "
-                    "%12.0f\n",
+        std::printf("%-12s %-15s %12.1f %12.1f %10.3f %12.0f %12.0f "
+                    "%10.1f %12.0f\n",
                     name.c_str(), "(all)", cfg_cycles / 1e6,
-                    cfg_retired / 1e6, cfg_wall, cfg_kcps, cfg_mips,
-                    mops(cfg_meta, cfg_wall));
+                    cfg_retired / 1e6, cfg_wall, cfg_kcps,
+                    cfg_kcps_median, cfg_mips, mops(cfg_meta, cfg_wall));
         JsonReport::instance().note(
             "{\"kind\":\"simspeed_config\",\"config\":\"" + name +
             "\",\"sim_cycles\":" + std::to_string(cfg_cycles) +
             ",\"retired_instructions\":" + std::to_string(cfg_retired) +
             ",\"metadata_ops\":" + std::to_string(cfg_meta) +
             ",\"wall_seconds\":" + sl::jsonNumber(cfg_wall) +
+            ",\"wall_seconds_median\":" + sl::jsonNumber(cfg_wall_median) +
             ",\"sim_kcycles_per_sec\":" + sl::jsonNumber(cfg_kcps) +
+            ",\"sim_kcycles_per_sec_median\":" +
+            sl::jsonNumber(cfg_kcps_median) +
             ",\"retired_mips\":" + sl::jsonNumber(cfg_mips) +
             ",\"metadata_ops_per_sec\":" +
             sl::jsonNumber(mops(cfg_meta, cfg_wall)) + "}");
+    }
+
+    // Fast-wake matrix: the temporal-prefetcher cells again with
+    // SchedMode::FastWake, interleaved back-to-back with a fresh
+    // default-mode measurement of the same cell (same binary, same
+    // process) so the ratio is insulated from machine drift. gap_bfs is
+    // the retry-storm workload the mode exists for; spec06_mcf shows the
+    // no-storm floor. check.sh's `fastwake` stage gates the gap_bfs
+    // ratios (SL_FASTWAKE_FLOOR, default 1.8).
+    std::printf("\n-- fast-wake cells (event-driven wakeups, "
+                "DESIGN.md §14) --\n");
+    std::printf("%-12s %-15s %12s %14s %8s %14s\n", "config", "workload",
+                "kcycles/s", "fastwake_kc/s", "ratio", "ratio_median");
+    for (const auto* l2 : {"streamline", "triage", "triangel"}) {
+        for (const auto* w : {"spec06_mcf", "gap_bfs"}) {
+            const Cell dflt =
+                timeCell(l2, l2, w, scale, repetitions);
+            const Cell fast =
+                timeCell(std::string(l2) + "+fastwake", l2, w, scale,
+                         repetitions, nullptr, /*cores=*/1,
+                         SchedMode::FastWake);
+            const double ratio =
+                kcps(dflt) > 0 ? kcps(fast) / kcps(dflt) : 0;
+            const double ratio_median =
+                kcpsMedian(dflt) > 0 ? kcpsMedian(fast) / kcpsMedian(dflt)
+                                     : 0;
+            std::printf("%-12s %-15s %12.0f %14.0f %7.2fx %13.2fx\n", l2,
+                        w, kcps(dflt), kcps(fast), ratio, ratio_median);
+            JsonReport::instance().note(
+                "{\"kind\":\"simspeed_fastwake\",\"config\":\"" +
+                std::string(l2) + "\",\"workload\":\"" + w + "\"" +
+                cellJsonFields(fast) +
+                ",\"fastwake_kcycles_per_sec\":" +
+                sl::jsonNumber(kcps(fast)) +
+                ",\"fastwake_kcycles_per_sec_median\":" +
+                sl::jsonNumber(kcpsMedian(fast)) +
+                ",\"default_kcycles_per_sec\":" +
+                sl::jsonNumber(kcps(dflt)) +
+                ",\"default_kcycles_per_sec_median\":" +
+                sl::jsonNumber(kcpsMedian(dflt)) +
+                ",\"speedup_ratio\":" + sl::jsonNumber(ratio) +
+                ",\"speedup_ratio_median\":" +
+                sl::jsonNumber(ratio_median) + "}");
+        }
     }
 
     // Multi-core cost probe: the shared memory system (DRAM scheduler,
@@ -209,6 +312,9 @@ main()
     // each L2 prefetcher and with none (the metadata-heavy prefetchers
     // stress the LLC arbiter very differently from the stream-based one,
     // so all three get their own cell).
+    if (fastwake_only)
+        return 0;
+
     std::printf("\n-- 2-core cells (spec06_mcf x2, shared LLC/DRAM) --\n");
     for (const auto* l2 : {"streamline", "triage", "triangel", "none"}) {
         const Cell c =
@@ -221,12 +327,7 @@ main()
         JsonReport::instance().note(
             "{\"kind\":\"simspeed_multicore\",\"config\":\"" + c.config +
             "\",\"workload\":\"" + c.workload +
-            "\",\"cores\":2"
-            ",\"sim_cycles\":" + std::to_string(c.simCycles) +
-            ",\"retired_instructions\":" + std::to_string(c.retired) +
-            ",\"wall_seconds\":" + sl::jsonNumber(c.wallSeconds) +
-            ",\"sim_kcycles_per_sec\":" + sl::jsonNumber(kcps(c)) +
-            ",\"retired_mips\":" + sl::jsonNumber(mips(c)) + "}");
+            "\",\"cores\":2" + cellJsonFields(c) + "}");
     }
 
     // Telemetry overhead probe: the streamline/spec06_mcf cell again with

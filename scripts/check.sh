@@ -10,6 +10,7 @@
 #   scripts/check.sh resilience # hang-timeout kill + manifest resume
 #   scripts/check.sh multicore  # 2-core ASan smoke + single-core digest gate
 #   scripts/check.sh tracecache # persistent trace cache: cold/warm/corruption
+#   scripts/check.sh fastwake   # fast-wake mode: equivalence + speedup gate
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -82,6 +83,7 @@ configs = {n["config"]: n for n in doc["notes"]
 cells = [n for n in doc["notes"] if n["kind"] == "simspeed_cell"]
 mc = [n for n in doc["notes"] if n["kind"] == "simspeed_multicore"]
 tele = [n for n in doc["notes"] if n["kind"] == "simspeed_telemetry"]
+fw = [n for n in doc["notes"] if n["kind"] == "simspeed_fastwake"]
 assert configs, "no simspeed_config notes in bench output"
 assert cells, "no simspeed_cell notes in bench output"
 assert tele, "no simspeed_telemetry note in bench output"
@@ -115,6 +117,18 @@ snap["current"] = {
         "off_kcycles_per_sec": tele[0]["off_kcycles_per_sec"],
         "on_kcycles_per_sec": tele[0]["on_kcycles_per_sec"],
         "enabled_overhead_pct": tele[0]["enabled_overhead_pct"],
+    },
+    # Fast-wake cells (DESIGN.md §14): kcycles/s under SchedMode::FastWake
+    # plus the back-to-back speedup ratio over default mode. The fastwake
+    # stage gates the gap_bfs ratios at the acceptance scale; here they
+    # are recorded for the trajectory at this stage's (smaller) scale.
+    "fastwake": {
+        f"{n['config']}/{n['workload']}": {
+            "kcycles_per_sec": n["fastwake_kcycles_per_sec"],
+            "kcycles_per_sec_median": n["fastwake_kcycles_per_sec_median"],
+            "speedup_ratio": n["speedup_ratio"],
+            "speedup_ratio_median": n["speedup_ratio_median"],
+        } for n in fw
     },
 }
 FLOOR = float(os.environ.get("SL_SIMSPEED_FLOOR", "0.75"))
@@ -300,6 +314,62 @@ print(f"telemetry ok: {len(rows)} intervals, {len(trace)} trace events")
 EOF
 }
 
+# Fast-wake stage (DESIGN.md §14): the opt-in scheduling mode that
+# virtualizes retry polls into wakeup lists and cache-to-cache event
+# hops into direct calls. Four gates: (a) the mode-equivalence harness
+# and fast-wake golden digests (gtest: identical retired counts, IPC
+# within the documented 15% tolerance, pinned full-run stat digests,
+# cross-mode snapshot rejection), (b) a fast-wake snapshot round trip
+# is part of the same filter, (c) an ASan+UBSan fast-wake run of the
+# retry-storm workload, and (d) the measured speedup: bench_simspeed's
+# fast-wake matrix at SL_FASTWAKE_SCALE (default 0.25, the acceptance
+# scale) must show every gap_bfs cell's median ratio above
+# SL_FASTWAKE_FLOOR (default 1.8; 0 disables, e.g. under emulation or
+# on heavily contended hardware).
+fastwake() {
+    local dir="$1" sandir="$2"
+    echo "== fastwake: equivalence + digests + ASan smoke + speed gate =="
+    cmake --build "${dir}" --target sl_tests bench_simspeed -j
+    "${dir}/tests/sl_tests" --gtest_brief=1 --gtest_filter='FastWake*'
+    echo "fast-wake equivalence harness and golden digests green"
+
+    cmake --build "${sandir}" --target sl_run -j
+    "${sandir}/src/sim/sl_run" --l2 streamline --scale 0.05 --fast-wake \
+        gap_bfs > "${sandir}/fastwake_smoke.out"
+    grep -q 'gap_bfs ipc=' "${sandir}/fastwake_smoke.out"
+    echo "fast-wake ASan gap_bfs smoke green"
+
+    local out="${dir}/bench_fastwake.out"
+    SL_BENCH_SCALE="${SL_FASTWAKE_SCALE:-0.25}" SL_JOBS=1 \
+        SL_SIMSPEED_FASTWAKE_ONLY=1 \
+        "${dir}/bench/bench_simspeed" > "${out}"
+    SL_FASTWAKE_FLOOR="${SL_FASTWAKE_FLOOR:-1.8}" \
+        python3 - "${out}" <<'EOF'
+import json, os, sys
+text = open(sys.argv[1]).read()
+body = text.split("==JSON==")[1].split("==END-JSON==")[0]
+fw = [n for n in json.loads(body)["notes"]
+      if n["kind"] == "simspeed_fastwake"]
+assert fw, "no simspeed_fastwake notes in bench output"
+FLOOR = float(os.environ.get("SL_FASTWAKE_FLOOR", "1.8"))
+failures = []
+for n in fw:
+    tag = f"{n['config']}/{n['workload']}"
+    print(f"  {tag}: {n['speedup_ratio_median']:.2f}x median "
+          f"({n['speedup_ratio']:.2f}x best-of)")
+    if n["workload"] == "gap_bfs" and FLOOR > 0 \
+            and n["speedup_ratio_median"] < FLOOR:
+        failures.append(f"{tag}: {n['speedup_ratio_median']:.2f}x median "
+                        f"< {FLOOR:.2f}x floor")
+if failures:
+    print("FAIL: fast-wake speedup below SL_FASTWAKE_FLOOR:")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print("fast-wake speed gate green")
+EOF
+}
+
 # Multicore stage: the shared memory system (per-channel DRAM scheduler,
 # LLC arbiter with MSHR quotas, MemPressure prefetch demotion) only
 # exists when cores > 1 and must be inert otherwise. Two assertions:
@@ -333,6 +403,11 @@ case "${MODE}" in
     multicore build build-asan
     ;;
   tracecache) cmake -B build -S .; tracecache build ;;
+  fastwake)
+    cmake -B build -S .
+    cmake -B build-asan -S . -DSL_SANITIZE=ON
+    fastwake build build-asan
+    ;;
   all)
     run_mode plain build
     bench_smoke build
@@ -341,9 +416,10 @@ case "${MODE}" in
     tracecache build
     run_mode asan+ubsan build-asan -DSL_SANITIZE=ON
     multicore build build-asan
+    fastwake build build-asan
     simspeed build
     ;;
-  *) echo "usage: $0 [plain|sanitize|simspeed|telemetry|resilience|multicore|tracecache|all]" >&2
+  *) echo "usage: $0 [plain|sanitize|simspeed|telemetry|resilience|multicore|tracecache|fastwake|all]" >&2
      exit 2 ;;
 esac
 

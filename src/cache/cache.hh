@@ -110,6 +110,10 @@ struct CacheParams
      *  mshrs / arbCores MSHRs per core so one core's retry storm cannot
      *  starve its siblings (multi-core LLC only). */
     unsigned arbCores = 0;
+
+    /** Structural-stall discipline: Default polls (digest-pinned),
+     *  FastWake parks on wakeup lists (DESIGN.md §14). */
+    SchedMode sched = SchedMode::Default;
 };
 
 /**
@@ -246,6 +250,17 @@ class Cache : public MemLevel, public RequestClient
     /** @p core clamped to a valid arbiter index ([0, arbCores)). */
     unsigned arbIndex(int core) const;
     void handleAt(MemRequest* req, Cycle start);
+    /** Fast-wake only: pop the oldest waiter off @p list and schedule
+     *  its Retry at @p now. One waiter per freed resource -- waking the
+     *  whole list would send N-1 requests through a full handleAt
+     *  re-probe just to re-park (a thundering herd costlier than the
+     *  polls being replaced). */
+    void wakeOne(std::vector<MemRequest*>& list, Cycle now);
+    /** Fast-wake only: called when a woken request resolved as a hit or
+     *  an MSHR merge -- it consumed neither the table slot nor the quota
+     *  unit it was woken for, so the wake must pass to the next waiter
+     *  or the freed resource would strand the list. */
+    void fastWakePassOn(unsigned lane, Cycle now);
     void installFill(Addr addr, bool prefetched, bool origin_here,
                      bool store, std::int32_t core, Cycle now);
     void respond(MemRequest* req, Cycle when);
@@ -254,6 +269,12 @@ class Cache : public MemLevel, public RequestClient
     CacheParams params_;
     EventQueue& eq_;
     MemLevel* next_;
+    /** next_ downcast once at construction; non-null iff the next level
+     *  is another cache. Fast-wake hands misses to a downstream *cache*
+     *  as a direct timestamp-carrying call (no Forward event), but the
+     *  hop into DRAM stays an event: the FR-FCFS scheduler must never
+     *  see a request that has not arrived yet. */
+    Cache* nextCache_ = nullptr;
     CacheListener* listener_ = nullptr;
     const PartitionPolicy* partition_ = nullptr;
     FaultInjector* faults_ = nullptr;
@@ -301,6 +322,25 @@ class Cache : public MemLevel, public RequestClient
     /** Waiter list of the MSHR currently being filled; a member so its
      *  capacity is reused across every requestDone call. */
     std::vector<MemRequest*> fillWaiters_;
+
+    // ---- fast-wake wakeup lists (used only when sched == FastWake) ----
+    /** Requests parked on a full MSHR table, in arrival (FIFO) order.
+     *  requestDone is the only site that frees an MSHR -- and every fill
+     *  and eviction happens there too -- so popping this list there
+     *  subsumes the per-set fill/eviction waiter classes: a parked
+     *  request implies the table is full, which implies downstream fills
+     *  are outstanding, which guarantees a future wake. */
+    std::vector<MemRequest*> mshrFreeWaiters_;
+    /** Per-core quota-return lists (sized arbCores in fast-wake mode):
+     *  requests parked because their core exhausted its MSHR reservation
+     *  wake when a fill returns a quota slot to that core. */
+    std::vector<std::vector<MemRequest*>> quotaWaiters_;
+    /** Wake probes scheduled but not yet executed (every Retry event in
+     *  fast-wake mode is one -- no polls exist). Lets the auditor tell a
+     *  stranded waiter (a bug) from one whose wake is simply pending a
+     *  port slot: a free resource with parked waiters is legal only
+     *  while a probe is in flight. */
+    std::size_t wakeProbes_ = 0;
 
     Cycle portTime_ = 0;
     unsigned portCount_ = 0;

@@ -290,7 +290,14 @@ toJson(const RunConfig& cfg)
        << ",\"cores\":" << cfg.cores
        << ",\"dram_mts\":" << cfg.dramMTs
        << ",\"trace_scale\":" << jsonNumber(cfg.traceScale)
-       << ",\"seed\":" << cfg.seed << "}";
+       << ",\"seed\":" << cfg.seed;
+    // Emitted only in fast-wake mode so default-mode manifests and
+    // snapshot digests stay byte-identical to pre-fast-wake builds. The
+    // fragment is what makes the mode part of the snapshot config digest
+    // (snapshot.cc keys its mode-mismatch diagnostic on it).
+    if (cfg.fastWake)
+        os << ",\"sched_mode\":\"fast_wake\"";
+    os << "}";
     return os.str();
 }
 

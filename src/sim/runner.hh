@@ -94,6 +94,11 @@ struct RunConfig
     FaultConfig faults;          //!< deterministic fault injection (off)
     HardeningConfig hardening;   //!< auditor / watchdog knobs
     TelemetryConfig telemetry;   //!< observability (off by default)
+    /** Opt into fast-wake scheduling (`--fast-wake` / SL_FAST_WAKE=1):
+     *  structural stalls park on wakeup lists instead of retry polls.
+     *  Part of the config digest: fast-wake snapshots and golden files
+     *  are distinct from default-mode ones (DESIGN.md §14). */
+    bool fastWake = false;
 
     const std::string& l1Name() const { return l1.str(); }
     const std::string& l2Name() const { return l2.str(); }

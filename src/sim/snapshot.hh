@@ -35,8 +35,10 @@ namespace sl
 
 class System;
 
-/** On-disk snapshot format version; bump on any payload layout change. */
-constexpr std::uint32_t kSnapshotVersion = 3;
+/** On-disk snapshot format version; bump on any payload layout change.
+ *  v4: per-cache fast-wake wakeup-list sections (empty in default mode)
+ *  and the scheduling mode folded into the config digest. */
+constexpr std::uint32_t kSnapshotVersion = 4;
 
 /**
  * Serialize the full dynamic state of @p sys, paused between cycles at

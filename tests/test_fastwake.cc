@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the fast-wake scheduling mode (DESIGN.md §14).
+ *
+ * Fast-wake replaces structural-stall retry polls with per-resource
+ * wakeup lists and virtualizes cache-to-cache Forward/Respond event hops
+ * into direct timestamp-carrying calls. It is an opt-in throughput mode:
+ * its interleaving differs from default mode, so its results are pinned
+ * by their own golden digests rather than the default-mode ones. Four
+ * properties are checked here:
+ *
+ *  1. Mode equivalence: identical retired-instruction counts (run
+ *     length is defined by the trace, not the schedule), IPC within a
+ *     documented tolerance, prefetch effectiveness in the same regime,
+ *     and a fully drained hierarchy at completion -- under a tight
+ *     audit interval so the fast-wake waiter invariants are exercised
+ *     throughout, not just at the end.
+ *  2. Determinism: full-run stat digests match values pinned from the
+ *     build that introduced the mode, for every temporal prefetcher on
+ *     a DRAM-bound and a cache-resident workload.
+ *  3. Snapshot round-trip: saving mid retry storm (waiter lists and
+ *     wake probes live) and restoring resumes bit-identically.
+ *  4. Mode mismatch: restoring a default-mode snapshot into a
+ *     fast-wake run (or vice versa) fails with the dedicated
+ *     "snapshot_mode" SimError, not a generic config mismatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "prefetch/registry.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+#include "trace/workloads.hh"
+
+namespace sl
+{
+namespace
+{
+
+// ---------- mode equivalence ----------
+
+struct ModeRun
+{
+    std::uint64_t retired = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t pfIssued = 0;
+    std::uint64_t pfUseful = 0;
+};
+
+/** One full run, built directly on System so retired counts and drain
+ *  state are observable; a 10K-cycle audit interval keeps the fast-wake
+ *  waiter invariants under continuous check. */
+ModeRun
+runMode(const std::string& workload, SchedMode sched)
+{
+    clearTraceCache();
+    PrefetcherRegistry& reg = prefetcherRegistry();
+    const PrefetcherTuning tuning;
+    std::vector<TracePtr> traces;
+    traces.push_back(getTrace(workload, 0.05, /*seed=*/1));
+
+    SystemConfig sc;
+    sc.sched = sched;
+    sc.hardening.auditInterval = 10'000;
+    sc.l1dPrefetcher = reg.make("stride", PrefetcherRegistry::L1, tuning);
+    sc.l2Prefetcher =
+        reg.make("streamline", PrefetcherRegistry::L2, tuning);
+
+    System sys(sc, std::move(traces));
+    sys.run();
+
+    ModeRun r;
+    // Evaluation-region counts, not the live retire counter: the run
+    // loop stops the cycle the last record retires, and a couple of
+    // trailing non-record instructions may or may not squeeze into that
+    // cycle depending on the schedule. The measurement region is closed
+    // at a fixed record count, so its instruction count is structural.
+    r.retired = sys.core(0).evalInstructions();
+    r.cycles = sys.core(0).evalCycles();
+    r.pfIssued = sys.l2(0).stats().counter("prefetch_issued").value();
+    r.pfUseful = sys.l2(0).stats().counter("prefetch_useful").value();
+    return r;
+}
+
+TEST(FastWakeEquivalence, DefaultAndFastWakeAgree)
+{
+    const char* workloads[] = {"spec06_mcf", "spec06_omnetpp",
+                               "spec06_soplex", "gap_bfs", "gap_pr"};
+    for (const char* w : workloads) {
+        const ModeRun dflt = runMode(w, SchedMode::Default);
+        const ModeRun fast = runMode(w, SchedMode::FastWake);
+
+        // Run length is the trace's record count retired in order; the
+        // schedule cannot change it.
+        EXPECT_EQ(fast.retired, dflt.retired) << w;
+
+        // IPC tolerance (DESIGN.md §14): retired counts are equal, so
+        // comparing cycle counts compares IPC. Wakes fire the cycle a
+        // resource frees instead of on the next poll boundary, and
+        // virtualized hops reorder same-window events, so timing drifts
+        // -- a few percent on cache-friendly workloads, up to ~12%
+        // (measured, gap_bfs) under a sustained miss storm where wake
+        // order decides who merges into whose MSHR. The documented bound
+        // is 15% either way: past that the modes are telling different
+        // performance stories, not the same one on different schedules.
+        const double ratio = static_cast<double>(fast.cycles) /
+                             static_cast<double>(dflt.cycles);
+        EXPECT_GT(ratio, 0.85) << w << " fast-wake cycles " << fast.cycles
+                               << " vs default " << dflt.cycles;
+        EXPECT_LT(ratio, 1.15) << w << " fast-wake cycles " << fast.cycles
+                               << " vs default " << dflt.cycles;
+
+        // Prefetcher training sees a different access interleaving, so
+        // issue/useful counts drift more than IPC does; they must stay
+        // within a factor of two -- same order, same qualitative story.
+        EXPECT_LT(fast.pfIssued, 2 * dflt.pfIssued + 100) << w;
+        EXPECT_GT(2 * fast.pfIssued + 100, dflt.pfIssued) << w;
+        EXPECT_LT(fast.pfUseful, 2 * dflt.pfUseful + 100) << w;
+        EXPECT_GT(2 * fast.pfUseful + 100, dflt.pfUseful) << w;
+
+        // Occupancy invariants ran continuously: the 10K-cycle audit
+        // interval above had the InvariantAuditor check MSHR/downstream
+        // accounting and the fast-wake waiter invariants (a parked
+        // waiter against a free resource with no wake probe in flight
+        // throws) hundreds of times per run. Reaching here means every
+        // audit passed; a stranded waiter would instead have wedged the
+        // run until the watchdog raised SimError.
+    }
+}
+
+// ---------- golden-digest determinism ----------
+
+std::uint64_t
+fnv1a(std::uint64_t h, const void* data, std::size_t n)
+{
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+digestStats(const std::map<std::string, std::uint64_t>& m)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& [k, v] : m) {
+        h = fnv1a(h, k.data(), k.size());
+        h = fnv1a(h, &v, sizeof(v));
+    }
+    return h;
+}
+
+struct GoldenRow
+{
+    const char* l2;
+    const char* workload;
+    std::uint64_t ipcBits;
+    std::uint64_t pfStatsDigest, storeStatsDigest;
+    std::uint64_t dramReads, dramBytes;
+    std::uint64_t metaReads, metaWrites;
+    std::uint64_t l2Miss, l2Useful, l2Issued;
+};
+
+// Captured from the build that introduced fast-wake (traceScale 0.05,
+// seed 1, stride L1). These are the mode's own digests -- intentionally
+// different from the default-mode goldens in test_metadata_fastpath.cc,
+// and pinned so the fast-wake schedule stays deterministic: any change
+// to wake order, pass-on chaining, or hop virtualization shows up here.
+constexpr GoldenRow kGolden[] = {
+    {"streamline", "spec06_mcf", 0x3fd5178d31158a45ULL,
+     17685425496156585352ULL, 15155647001994564694ULL, 40633, 2600512,
+     15157, 6962, 27038, 15596, 15750},
+    {"streamline", "gap_bfs", 0x40156e15ccf6a3c3ULL,
+     16366167094985885994ULL, 4262596619712192483ULL, 790, 50560,
+     1698, 1040, 3027, 2430, 2439},
+    {"triage", "spec06_mcf", 0x3fd798ad3eb880fdULL,
+     10965295171386264284ULL, 14695981039346656037ULL, 40682, 2603648,
+     117994, 35681, 25465, 21572, 22086},
+    {"triage", "gap_bfs", 0x40084f0f1835730bULL,
+     17017092280115398680ULL, 14695981039346656037ULL, 820, 52480,
+     19513, 5626, 2562, 3068, 3362},
+    {"triangel", "spec06_mcf", 0x3fd585ad716435fcULL,
+     6343442115286259055ULL, 14695981039346656037ULL, 40671, 2602944,
+     43799, 11126, 25247, 20775, 21111},
+    {"triangel", "gap_bfs", 0x401536b8aa8628dfULL,
+     13972193496535648856ULL, 14695981039346656037ULL, 790, 50560,
+     5823, 1345, 1797, 3674, 3684},
+};
+
+TEST(FastWakeGolden, MatchesPinnedDigests)
+{
+    for (const GoldenRow& g : kGolden) {
+        clearTraceCache();
+        RunConfig cfg;
+        cfg.traceScale = 0.05;
+        cfg.l2 = g.l2;
+        cfg.fastWake = true;
+        const RunResult r = runWorkload(cfg, g.workload);
+        const std::string where = std::string(g.l2) + "/" + g.workload;
+
+        std::uint64_t ipc_bits = 0;
+        std::memcpy(&ipc_bits, &r.cores[0].ipc, sizeof(ipc_bits));
+        EXPECT_EQ(ipc_bits, g.ipcBits) << where;
+        EXPECT_EQ(digestStats(r.l2PfStats[0]), g.pfStatsDigest) << where;
+        EXPECT_EQ(digestStats(r.storeStats), g.storeStatsDigest) << where;
+        EXPECT_EQ(r.dramReads, g.dramReads) << where;
+        EXPECT_EQ(r.dramBytes, g.dramBytes) << where;
+        EXPECT_EQ(r.llcMetaReads, g.metaReads) << where;
+        EXPECT_EQ(r.llcMetaWrites, g.metaWrites) << where;
+        EXPECT_EQ(r.cores[0].l2DemandMisses, g.l2Miss) << where;
+        EXPECT_EQ(r.cores[0].l2PrefetchUseful, g.l2Useful) << where;
+        EXPECT_EQ(r.cores[0].l2PrefetchIssued, g.l2Issued) << where;
+    }
+}
+
+// ---------- snapshot round-trip mid retry storm ----------
+
+void
+expectIdenticalResults(const RunResult& a, const RunResult& b)
+{
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (std::size_t i = 0; i < a.cores.size(); ++i) {
+        EXPECT_EQ(a.cores[i].ipc, b.cores[i].ipc);
+        EXPECT_EQ(a.cores[i].l2DemandMisses, b.cores[i].l2DemandMisses);
+        EXPECT_EQ(a.cores[i].l2PrefetchUseful,
+                  b.cores[i].l2PrefetchUseful);
+        EXPECT_EQ(a.cores[i].l2PrefetchIssued,
+                  b.cores[i].l2PrefetchIssued);
+    }
+    EXPECT_EQ(a.metadataTraffic(), b.metadataTraffic());
+    EXPECT_EQ(a.dramReads, b.dramReads);
+    EXPECT_EQ(a.dramWrites, b.dramWrites);
+    EXPECT_EQ(a.dramBytes, b.dramBytes);
+    EXPECT_EQ(a.storedCorrelations, b.storedCorrelations);
+}
+
+/** Fast-wake gap_bfs: the MSHR-saturating workload. The save point sits
+ *  mid-run (the full run is ~245K cycles at this scale), where waiter
+ *  lists and in-flight wake probes are live, so the v4 waiter-list
+ *  snapshot sections carry real state, not empty counts. */
+TEST(FastWakeSnapshot, MidStormRoundTripIsBitIdentical)
+{
+    const std::string path = "sl_test_fastwake_snapshot.bin";
+    RunConfig cfg;
+    cfg.traceScale = 0.05;
+    cfg.l2 = "streamline";
+    cfg.fastWake = true;
+    const std::vector<std::string> w{"gap_bfs"};
+
+    const RunResult plain = runWorkloadsRaw(cfg, w);
+
+    RunHooks save;
+    save.snapshotAt = 100'000;
+    save.snapshotPath = path;
+    const RunResult saved = runWorkloadsRaw(cfg, w, save);
+    // Saving mid-run must not perturb the run that continues past it.
+    expectIdenticalResults(plain, saved);
+
+    RunHooks restore;
+    restore.restorePath = path;
+    const RunResult resumed = runWorkloadsRaw(cfg, w, restore);
+    expectIdenticalResults(plain, resumed);
+    std::remove(path.c_str());
+}
+
+/** Snapshots do not transfer across scheduling modes: the waiter lists
+ *  and event population only make sense under the mode that produced
+ *  them. Both directions must fail with the dedicated error, whose
+ *  component ("snapshot_mode") distinguishes it from plain config skew. */
+TEST(FastWakeSnapshot, ModeMismatchRejectedBothWays)
+{
+    const std::string path = "sl_test_fastwake_mismatch.bin";
+    RunConfig dflt;
+    dflt.traceScale = 0.05;
+    dflt.l2 = "streamline";
+    RunConfig fast = dflt;
+    fast.fastWake = true;
+    const std::vector<std::string> w{"spec06_mcf"};
+
+    auto expectModeError = [&](const RunConfig& saveCfg,
+                               const RunConfig& restoreCfg,
+                               const char* dir) {
+        RunHooks save;
+        save.snapshotAt = 20'000;
+        save.snapshotPath = path;
+        runWorkloadsRaw(saveCfg, w, save);
+        RunHooks restore;
+        restore.restorePath = path;
+        try {
+            runWorkloadsRaw(restoreCfg, w, restore);
+            ADD_FAILURE() << dir << ": cross-mode restore succeeded";
+        } catch (const SimError& e) {
+            EXPECT_EQ(e.component(), "snapshot_mode") << dir;
+            EXPECT_NE(std::string(e.what()).find("scheduling-mode"),
+                      std::string::npos)
+                << dir << ": " << e.what();
+        }
+        std::remove(path.c_str());
+    };
+
+    expectModeError(dflt, fast, "default snapshot into fast-wake run");
+    expectModeError(fast, dflt, "fast-wake snapshot into default run");
+}
+
+} // namespace
+} // namespace sl
