@@ -11,6 +11,7 @@
 #   scripts/check.sh multicore  # 2-core ASan smoke + single-core digest gate
 #   scripts/check.sh tracecache # persistent trace cache: cold/warm/corruption
 #   scripts/check.sh fastwake   # fast-wake mode: equivalence + speedup gate
+#   scripts/check.sh sampling   # sampled runs: fidelity + speedup + resume
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -370,6 +371,81 @@ print("fast-wake speed gate green")
 EOF
 }
 
+# Sampling stage (DESIGN.md §15): the sampled + checkpointed runner.
+# Three gates: (a) the sampling unit tests (reassembly fixtures,
+# profile/k-means determinism, checkpoint reuse, and the kill + resume
+# byte-identity test), (b) an ASan+UBSan sampled run end-to-end (the
+# functional-warmup and restore paths shake out memory errors at tiny
+# scale), and (c) fidelity + speedup at paper scale: bench_sampling
+# runs {streamline,triage,triangel} x {spec06_mcf,gap_bfs} full and
+# sampled, and every cell's IPC relative error must stay within
+# SL_SAMPLING_ERR (default 0.03 -- IPC is deterministic, so this gate
+# is noise-free) while the aggregate warm-checkpoint speedup must stay
+# above SL_SAMPLING_FLOOR (default 2.5x; wall clock IS noisy on shared
+# hardware, hence the margin under the measured ~3.4x; 0 disables,
+# e.g. under emulation).
+sampling() {
+    local dir="$1" sandir="$2"
+    echo "== sampling: unit tests + ASan smoke + fidelity/speed gate =="
+    cmake --build "${dir}" --target sl_tests bench_sampling -j
+    "${dir}/tests/sl_tests" --gtest_brief=1 --gtest_filter='Sampling*'
+    echo "sampling unit, determinism, and resume tests green"
+
+    cmake --build "${sandir}" --target sl_run -j
+    local sckpt="${sandir}/sampling_ckpt"
+    rm -rf "${sckpt}"
+    SL_SAMPLE_DIR="${sckpt}" "${sandir}/src/sim/sl_run" \
+        --l2 streamline --scale 0.05 \
+        --sample-intervals 12 --sample-k 6 spec06_mcf \
+        > "${sandir}/sampling_smoke.out"
+    grep -q 'sampled spec06_mcf: ipc=' "${sandir}/sampling_smoke.out"
+    rm -rf "${sckpt}"
+    echo "sampled-run ASan smoke green"
+
+    local out="${dir}/bench_sampling.out"
+    local ckpt="${dir}/sampling_ckpt"
+    rm -rf "${ckpt}"
+    SL_SAMPLE_DIR="${ckpt}" SL_JOBS=1 "${dir}/bench/bench_sampling" \
+        > "${out}"
+    rm -rf "${ckpt}"
+    SL_SAMPLING_ERR="${SL_SAMPLING_ERR:-0.03}" \
+        SL_SAMPLING_FLOOR="${SL_SAMPLING_FLOOR:-2.5}" \
+        python3 - "${out}" <<'EOF'
+import json, os, sys
+text = open(sys.argv[1]).read()
+body = text.split("==JSON==")[1].split("==END-JSON==")[0]
+notes = json.loads(body)["notes"]
+cells = [n for n in notes if n["row"] == "cell"]
+agg = [n for n in notes if n["row"] == "aggregate"]
+assert len(cells) == 6, f"expected 6 cells, got {len(cells)}"
+assert agg, "no aggregate row in bench output"
+ERR = float(os.environ.get("SL_SAMPLING_ERR", "0.03"))
+FLOOR = float(os.environ.get("SL_SAMPLING_FLOOR", "2.5"))
+failures = []
+for c in cells:
+    tag = f"{c['config']}/{c['workload']}"
+    print(f"  {tag}: err {100 * c['rel_err']:.2f}% "
+          f"(ci95 {100 * c['rel_ci95']:.2f}%), "
+          f"{c['speedup']:.2f}x warm")
+    if c["rel_err"] > ERR:
+        failures.append(f"{tag}: rel err {100 * c['rel_err']:.2f}% > "
+                        f"{100 * ERR:.1f}% gate")
+speedup = agg[0]["speedup"]
+print(f"  aggregate: {speedup:.2f}x "
+      f"(full {agg[0]['full_wall']:.1f}s, "
+      f"sampled {agg[0]['sampled_wall']:.1f}s)")
+if FLOOR > 0 and speedup < FLOOR:
+    failures.append(f"aggregate speedup {speedup:.2f}x < "
+                    f"{FLOOR:.2f}x floor")
+if failures:
+    print("FAIL: sampling fidelity/speed gate:")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print("sampling fidelity and speed gate green")
+EOF
+}
+
 # Multicore stage: the shared memory system (per-channel DRAM scheduler,
 # LLC arbiter with MSHR quotas, MemPressure prefetch demotion) only
 # exists when cores > 1 and must be inert otherwise. Two assertions:
@@ -408,6 +484,11 @@ case "${MODE}" in
     cmake -B build-asan -S . -DSL_SANITIZE=ON
     fastwake build build-asan
     ;;
+  sampling)
+    cmake -B build -S .
+    cmake -B build-asan -S . -DSL_SANITIZE=ON
+    sampling build build-asan
+    ;;
   all)
     run_mode plain build
     bench_smoke build
@@ -417,9 +498,10 @@ case "${MODE}" in
     run_mode asan+ubsan build-asan -DSL_SANITIZE=ON
     multicore build build-asan
     fastwake build build-asan
+    sampling build build-asan
     simspeed build
     ;;
-  *) echo "usage: $0 [plain|sanitize|simspeed|telemetry|resilience|multicore|tracecache|fastwake|all]" >&2
+  *) echo "usage: $0 [plain|sanitize|simspeed|telemetry|resilience|multicore|tracecache|fastwake|sampling|all]" >&2
      exit 2 ;;
 esac
 

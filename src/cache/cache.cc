@@ -7,6 +7,16 @@
 namespace sl
 {
 
+namespace
+{
+/** Functional-warmup prefetch fills land this many cycles after issue,
+ *  approximating the detailed path's DRAM round trip (row access plus
+ *  queueing). The exact figure is uncritical; what matters is that the
+ *  in-flight window is long enough for racing demand accesses to miss
+ *  and train, as they do in detailed mode. */
+constexpr Cycle kFunctionalFillDelay = 60;
+} // namespace
+
 // Tagged-event entry points (see EventKind in common/event.hh). Each
 // reads the EventDesc out of the callback's capture buffer and re-enters
 // the component exactly as the former lambda did; storing these function
@@ -570,14 +580,9 @@ Cache::fastWakePassOn(unsigned lane, Cycle now)
         wakeOne(quotaWaiters_[lane], now);
 }
 
-void
-Cache::installFill(Addr addr, bool prefetched, bool origin_here,
-                   bool store, std::int32_t core, Cycle now)
+unsigned
+Cache::pickVictimWay(std::size_t base, unsigned reserved) const
 {
-    const std::uint32_t set = setIndex(addr);
-    const unsigned reserved = reservedWays(set);
-    const std::size_t base = static_cast<std::size_t>(set) * params_.ways;
-
     // Victim selection runs entirely off the packed tag/LRU side arrays
     // (two cache lines per set instead of one Block per way): first
     // invalid way in scan order, else the strictly-least LRU stamp in
@@ -587,13 +592,23 @@ Cache::installFill(Addr addr, bool prefetched, bool origin_here,
     const Addr* tagRow = &tags_[base];
     const std::uint64_t* lruRow = &lru_[base];
     for (unsigned w = reserved; w < params_.ways; ++w) {
-        if (tagRow[w] == kNoTag) {
-            vw = w;
-            break;
-        }
+        if (tagRow[w] == kNoTag)
+            return w;
         if (vw == params_.ways || lruRow[w] < lruRow[vw])
             vw = w;
     }
+    return vw;
+}
+
+void
+Cache::installFill(Addr addr, bool prefetched, bool origin_here,
+                   bool store, std::int32_t core, Cycle now)
+{
+    const std::uint32_t set = setIndex(addr);
+    const unsigned reserved = reservedWays(set);
+    const std::size_t base = static_cast<std::size_t>(set) * params_.ways;
+
+    const unsigned vw = pickVictimWay(base, reserved);
     if (vw == params_.ways) {
         // Entire set reserved for metadata: the fill bypasses this cache.
         ++ctr_.fillBypassed;
@@ -667,8 +682,163 @@ Cache::respond(MemRequest* req, Cycle when)
 }
 
 void
+Cache::setFunctionalMode(bool on)
+{
+    SL_REQUIRE(mshrs_.empty() && outstandingDownstream_ == 0,
+               params_.name.empty() ? "cache" : params_.name.c_str(),
+               "functional-mode switch with " << mshrs_.size()
+                   << " MSHRs outstanding");
+    functional_ = on;
+}
+
+void
+Cache::functionalAccess(Addr addr, PC pc, int core, bool store, Cycle now)
+{
+    SL_CHECK_AT(functional_, params_.name.c_str(), now,
+                "functionalAccess on a cache in detailed mode");
+    addr = blockAlign(addr);
+    ++ctr_.demandAccesses;
+    if (store)
+        ++ctr_.demandStores;
+
+    if (Block* b = findBlock(addr)) {
+        ++ctr_.demandHits;
+        lru_[static_cast<std::size_t>(b - blocks_.data())] = ++lruTick_;
+        bool prefetch_hit = false;
+        if (b->prefetched) {
+            b->prefetched = false;
+            if (b->prefetchOriginHere)
+                ++ctr_.prefetchUseful;
+            prefetch_hit = true;
+        }
+        if (store)
+            b->dirty = true;
+        if (listener_) {
+            AccessInfo info;
+            info.addr = addr;
+            info.pc = pc;
+            info.coreId = core;
+            info.cycle = now;
+            info.hit = true;
+            info.prefetchHit = prefetch_hit;
+            info.type = store ? AccessType::Store : AccessType::Load;
+            listener_->onAccess(info);
+        }
+        return;
+    }
+
+    ++ctr_.demandMisses;
+    if (listener_) {
+        AccessInfo info;
+        info.addr = addr;
+        info.pc = pc;
+        info.coreId = core;
+        info.cycle = now;
+        info.hit = false;
+        info.type = store ? AccessType::Store : AccessType::Load;
+        listener_->onAccess(info);
+    }
+    // Downstream demand misses forward as loads (store-ness does not
+    // propagate, matching the detailed miss path); install on unwind
+    // with the dirty bit only at this level.
+    if (nextCache_)
+        nextCache_->functionalAccess(addr, pc, core, false, now);
+    functionalFill(addr, false, false, store, now);
+}
+
+void
+Cache::functionalWriteback(Addr addr, Cycle now)
+{
+    ++ctr_.writebackIn;
+    if (Block* b = findBlock(addr)) {
+        b->dirty = true;
+        lru_[static_cast<std::size_t>(b - blocks_.data())] = ++lruTick_;
+        return;
+    }
+    functionalFill(addr, false, false, true, now);
+}
+
+void
+Cache::functionalPrefetch(Addr addr, Cycle now)
+{
+    ++ctr_.prefetchRequests;
+    if (Block* b = findBlock(addr)) {
+        lru_[static_cast<std::size_t>(b - blocks_.data())] = ++lruTick_;
+        return;
+    }
+    if (nextCache_)
+        nextCache_->functionalPrefetch(addr, now);
+    functionalFill(addr, true, false, false, now);
+}
+
+void
+Cache::functionalFill(Addr addr, bool prefetched, bool origin_here,
+                      bool store, Cycle now)
+{
+    const std::uint32_t set = setIndex(addr);
+    const std::size_t base = static_cast<std::size_t>(set) * params_.ways;
+    const unsigned vw = pickVictimWay(base, reservedWays(set));
+    if (vw == params_.ways) {
+        ++ctr_.fillBypassed;
+        return;
+    }
+    Block* victim = &blocks_[base + vw];
+    if (victim->valid) {
+        ++ctr_.evictions;
+        if (victim->dirty && next_) {
+            ++ctr_.writebacks;
+            // The hop into DRAM carries no state the functional pass
+            // needs; only cache-to-cache writebacks walk the chain.
+            if (nextCache_)
+                nextCache_->functionalWriteback(victim->tag << kBlockShift,
+                                                now);
+        }
+    }
+    ++stateGen_;
+    victim->valid = true;
+    victim->dirty = store;
+    victim->prefetched = prefetched;
+    victim->prefetchOriginHere = prefetched && origin_here;
+    victim->tag = blockNumber(addr);
+    lru_[base + vw] = ++lruTick_;
+    victim->fillAt = now;
+    tags_[base + vw] = victim->tag;
+}
+
+void
 Cache::issuePrefetch(Addr addr, PC pc, int core_id, Cycle now)
 {
+    if (functional_) {
+        // Prefetchers keep training (and issuing) during functional
+        // warmup so their metadata and the cache contents they imply
+        // stay coherent in the snapshot. Resident blocks count redundant
+        // exactly like the detailed path; fresh blocks install down the
+        // chain with the prefetched/origin bits the detailed fill unwind
+        // would set.
+        (void)pc;
+        (void)core_id;
+        addr = blockAlign(addr);
+        ++ctr_.prefetchRequests;
+        if (findBlock(addr)) {
+            ++ctr_.prefetchRedundant;
+            return;
+        }
+        ++ctr_.prefetchIssued;
+        // The fill lands a DRAM-round-trip later, not instantly: demand
+        // accesses that race an in-flight prefetch must keep missing (and
+        // keep training the temporal prefetchers) exactly as they would
+        // in the detailed run — instant fills starve the training stream
+        // and the snapshot's metadata underperforms after restore.
+        Cache* self = this;
+        eq_.schedule(now + kFunctionalFillDelay, [self, addr](Cycle when) {
+            if (!self->functional_ || self->findBlock(addr))
+                return;
+            if (self->nextCache_)
+                self->nextCache_->functionalPrefetch(addr, when);
+            self->functionalFill(addr, true, true, false, when);
+        });
+        return;
+    }
     if (pressure_ && !pressure_->admitPrefetch(now)) {
         // Memory system saturated: the prefetch is a hint, shed it
         // before it costs an MSHR, a downstream slot, and DRAM bandwidth
@@ -809,10 +979,16 @@ Cache::reclaimReservedWays(std::uint32_t set, Cycle now)
         ++stats_.counter("partition_reclaims");
         if (row[w].dirty && next_) {
             ++ctr_.writebacks;
-            MemRequest* wb = pool_->acquire();
-            wb->addr = row[w].tag << kBlockShift;
-            wb->kind = ReqKind::Writeback;
-            next_->access(wb, now);
+            if (functional_) {
+                if (nextCache_)
+                    nextCache_->functionalWriteback(
+                        row[w].tag << kBlockShift, now);
+            } else {
+                MemRequest* wb = pool_->acquire();
+                wb->addr = row[w].tag << kBlockShift;
+                wb->kind = ReqKind::Writeback;
+                next_->access(wb, now);
+            }
         }
         row[w].valid = false;
         tags_[static_cast<std::size_t>(set) * params_.ways + w] = kNoTag;

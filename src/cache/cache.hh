@@ -165,6 +165,30 @@ class Cache : public MemLevel, public RequestClient
      */
     void issuePrefetch(Addr addr, PC pc, int core_id, Cycle now);
 
+    /**
+     * Functional-warmup mode (sampled checkpoint generation, DESIGN.md
+     * §15): accesses update tags/LRU/dirty/prefetched bits, train the
+     * listener, and bill the same hit/miss counters, but move no
+     * MemRequests and schedule no events — no MSHRs, ports, retries, or
+     * DRAM traffic. Detailed and functional traffic must not interleave:
+     * switching modes requires an idle cache (no MSHR outstanding). The
+     * flag is orchestration, not state — it is not serialized.
+     */
+    void setFunctionalMode(bool on);
+
+    /**
+     * Present one demand access in functional mode. Misses recurse down
+     * the cache chain (stores forward as loads, like the detailed path)
+     * and install on the unwind, so the end state mirrors what the
+     * detailed fill path would leave behind.
+     */
+    void functionalAccess(Addr addr, PC pc, int core, bool store,
+                          Cycle now);
+
+    /** Functional-mode writeback from an upstream level: write-validate
+     *  semantics matching the detailed Writeback path. */
+    void functionalWriteback(Addr addr, Cycle now);
+
     /** Re-present @p r after an MSHR stall (EventKind::Retry target). */
     void retryNow(MemRequest* r, Cycle now);
 
@@ -263,6 +287,16 @@ class Cache : public MemLevel, public RequestClient
     void fastWakePassOn(unsigned lane, Cycle now);
     void installFill(Addr addr, bool prefetched, bool origin_here,
                      bool store, std::int32_t core, Cycle now);
+    /** Victim scan over the packed tag/LRU side arrays: first invalid
+     *  way at or past @p reserved, else the least-LRU way; params_.ways
+     *  when the whole set is metadata-reserved. Shared by the detailed
+     *  and functional fill paths so both pick identical victims. */
+    unsigned pickVictimWay(std::size_t base, unsigned reserved) const;
+    void functionalFill(Addr addr, bool prefetched, bool origin_here,
+                        bool store, Cycle now);
+    /** Downstream leg of a functional prefetch chain: install at every
+     *  level like the detailed prefetch fill unwind would. */
+    void functionalPrefetch(Addr addr, Cycle now);
     void respond(MemRequest* req, Cycle when);
     unsigned reservedWays(std::uint32_t set) const;
 
@@ -309,6 +343,11 @@ class Cache : public MemLevel, public RequestClient
     std::uint64_t lruTick_ = 0;
 
     MshrTable mshrs_; //!< keyed by block address; capacity = MSHR limit
+
+    /** Functional-warmup mode flag (see setFunctionalMode). Not
+     *  serialized: snapshots are always taken from-and-for detailed
+     *  simulation; the checkpoint generator flips it off before save. */
+    bool functional_ = false;
 
     /** Blocking-state generation: bumped whenever state that decides the
      *  MSHR structural-stall branch mutates (tag array contents, MSHR

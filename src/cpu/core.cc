@@ -20,6 +20,47 @@ Core::Core(int id, const CoreParams& params, EventQueue& eq, Cache* l1d,
                "core needs an L1D to issue into");
     SL_REQUIRE(trace_ && !trace_->records.empty(), stats_.name().c_str(),
                "core needs a non-empty trace");
+    warmupTarget_ = trace_->warmupRecords;
+    evalTarget_ = trace_->records.size();
+}
+
+void
+Core::setMeasureWindow(std::uint64_t warmup_records,
+                       std::uint64_t eval_records)
+{
+    if (warmup_records != 0) {
+        SL_REQUIRE(warmup_records > recordsRetired_, stats_.name().c_str(),
+                   "measure-window warmup target " << warmup_records
+                       << " already retired (" << recordsRetired_ << ")");
+        warmupTarget_ = warmup_records;
+    }
+    if (eval_records != 0) {
+        SL_REQUIRE(eval_records > recordsRetired_, stats_.name().c_str(),
+                   "measure-window eval target " << eval_records
+                       << " already retired (" << recordsRetired_ << ")");
+        SL_REQUIRE(eval_records >= warmupTarget_, stats_.name().c_str(),
+                   "measure-window eval target " << eval_records
+                       << " precedes warmup target " << warmupTarget_);
+        evalTarget_ = eval_records;
+    }
+}
+
+void
+Core::fastForwardTo(std::size_t records, std::uint64_t instructions,
+                    Cycle now)
+{
+    SL_REQUIRE(robCount_ == 0, stats_.name().c_str(),
+               "fast-forward with " << robCount_ << " in-flight ROB "
+               "entries; drain the core first");
+    recordIdx_ = records;
+    recordPos_ = records % trace_->records.size();
+    recordsRetired_ = records;
+    instrRetired_ = instructions;
+    bubblesLeft_ = 0;
+    bubblesPrimed_ = false;
+    lastLoadSlot_ = SIZE_MAX;
+    blockedOnSlot_ = SIZE_MAX;
+    startCycle_ = now;
 }
 
 bool
@@ -163,12 +204,13 @@ void
 Core::onRecordRetired(Cycle now)
 {
     ++recordsRetired_;
-    const std::size_t n = trace_->records.size();
-    if (recordsRetired_ == trace_->warmupRecords) {
+    if (recordsRetired_ == warmupTarget_) {
         warmupEndCycle_ = now;
         warmupInstr_ = instrRetired_;
+        if (warmupCb_)
+            warmupCb_(now);
     }
-    if (recordsRetired_ == n && evalEndCycle_ == kNoCycle) {
+    if (recordsRetired_ == evalTarget_ && evalEndCycle_ == kNoCycle) {
         evalEndCycle_ = now;
         evalInstr_ = instrRetired_;
         if (warmupEndCycle_ == kNoCycle) {

@@ -14,6 +14,7 @@
 #define SL_CPU_CORE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -115,6 +116,35 @@ class Core : public RequestClient
     StatGroup& stats() { return stats_; }
 
     /**
+     * Override the measurement window with absolute records-retired
+     * targets: warmup ends when recordsRetired_ reaches
+     * @p warmup_records, the run (and IPC measurement) ends at
+     * @p eval_records. Zero leaves the trace default (warmupRecords /
+     * records.size()) in place. The targets are orchestration, not run
+     * identity: they are NOT serialized into snapshots -- the sampled
+     * runner (src/sample/) re-applies them after every restore, so a
+     * checkpoint stays valid for any interval window cut from it.
+     */
+    void setMeasureWindow(std::uint64_t warmup_records,
+                          std::uint64_t eval_records);
+
+    /** Invoked once, when the warmup target retires (stat fencing for
+     *  sampled intervals). Must be set before the target is crossed. */
+    using WarmupCallback = std::function<void(Cycle)>;
+    void setWarmupCallback(WarmupCallback cb) { warmupCb_ = std::move(cb); }
+
+    /**
+     * Teleport the trace cursor to @p records consumed records /
+     * @p instructions retired instructions, as if they had executed, with
+     * an empty ROB and no in-flight state. Only legal on an idle core
+     * (nothing dispatched since the last drain); the sampled checkpoint
+     * generator calls this after functional warmup so the snapshot's
+     * cursor lands on the interval boundary.
+     */
+    void fastForwardTo(std::size_t records, std::uint64_t instructions,
+                       Cycle now);
+
+    /**
      * Snapshot every mutable field. The core never stores request
      * pointers -- completions match ROB slots via the request tag
      * ((slot << 32) | generation) -- so no swizzling is needed; the
@@ -207,6 +237,13 @@ class Core : public RequestClient
      *  step() re-records it before nextWake() is ever consulted. */
     std::size_t blockedOnSlot_ = SIZE_MAX;
     std::uint64_t blockedOnGen_ = 0;
+
+    // Measurement window, in records retired. Defaults to the trace's
+    // own warmup/full-pass boundaries; the sampled runner narrows it to
+    // one interval. Deliberately not serialized (see setMeasureWindow).
+    std::uint64_t warmupTarget_ = 0;
+    std::uint64_t evalTarget_ = 0;
+    WarmupCallback warmupCb_;
 
     // Progress accounting.
     std::uint64_t instrRetired_ = 0;

@@ -1,0 +1,188 @@
+#include "sample/kmeans.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+
+namespace sl
+{
+
+namespace
+{
+
+double
+dist2(const std::vector<double>& a, const std::vector<double>& b)
+{
+    double s = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+} // namespace
+
+ClusterSelection
+kmeansSelect(const std::vector<std::vector<double>>& points, std::size_t k,
+             std::uint64_t seed, unsigned iterations)
+{
+    const std::size_t n = points.size();
+    SL_REQUIRE(n > 0, "sample_kmeans", "no points to cluster");
+    const std::size_t dims = points[0].size();
+    for (const auto& p : points)
+        SL_REQUIRE(p.size() == dims, "sample_kmeans",
+                   "ragged point set: " << p.size() << " vs " << dims
+                                        << " dims");
+    if (k > n)
+        k = n;
+    SL_REQUIRE(k > 0, "sample_kmeans", "need at least one cluster");
+
+    Rng rng(seed);
+
+    // k-means++ seeding: first centroid uniform, then each next centroid
+    // drawn proportionally to squared distance from the nearest chosen
+    // one. minD2 is maintained incrementally (O(nk) total).
+    std::vector<std::vector<double>> centroids;
+    centroids.reserve(k);
+    std::vector<double> minD2(n, std::numeric_limits<double>::max());
+    centroids.push_back(points[rng.below(n)]);
+    for (std::size_t c = 1; c < k; ++c) {
+        double total = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double d = dist2(points[i], centroids.back());
+            if (d < minD2[i])
+                minD2[i] = d;
+            total += minD2[i];
+        }
+        std::size_t chosen = 0;
+        if (total > 0) {
+            double r = rng.uniform() * total;
+            for (std::size_t i = 0; i < n; ++i) {
+                r -= minD2[i];
+                if (r <= 0) {
+                    chosen = i;
+                    break;
+                }
+                chosen = i; // rounding residue: keep the last index
+            }
+        } else {
+            // All points coincide with a centroid; any pick works, keep
+            // it seeded for determinism.
+            chosen = rng.below(n);
+        }
+        centroids.push_back(points[chosen]);
+    }
+
+    // Lloyd refinement with lowest-index tie-breaks. Empty clusters are
+    // reseeded to the point farthest from its assigned centroid, so K
+    // representatives always come back.
+    std::vector<std::size_t> assign(n, 0);
+    for (unsigned it = 0; it < iterations; ++it) {
+        bool moved = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t best = 0;
+            double bestD = std::numeric_limits<double>::max();
+            for (std::size_t c = 0; c < k; ++c) {
+                const double d = dist2(points[i], centroids[c]);
+                if (d < bestD) {
+                    bestD = d;
+                    best = c;
+                }
+            }
+            if (assign[i] != best) {
+                assign[i] = best;
+                moved = true;
+            }
+        }
+        std::vector<std::vector<double>> sums(
+            k, std::vector<double>(dims, 0.0));
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            ++counts[assign[i]];
+            for (std::size_t d = 0; d < dims; ++d)
+                sums[assign[i]][d] += points[i][d];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                // Reseed to the globally worst-fitted point.
+                std::size_t far = 0;
+                double farD = -1;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const double d =
+                        dist2(points[i], centroids[assign[i]]);
+                    if (d > farD) {
+                        farD = d;
+                        far = i;
+                    }
+                }
+                centroids[c] = points[far];
+                moved = true;
+                continue;
+            }
+            for (std::size_t d = 0; d < dims; ++d)
+                centroids[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+        }
+        if (!moved && it > 0)
+            break;
+    }
+
+    // Final assignment pass against the refined centroids, then pick the
+    // closest member (lowest index on ties) of each cluster.
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t best = 0;
+        double bestD = std::numeric_limits<double>::max();
+        for (std::size_t c = 0; c < k; ++c) {
+            const double d = dist2(points[i], centroids[c]);
+            if (d < bestD) {
+                bestD = d;
+                best = c;
+            }
+        }
+        assign[i] = best;
+        ++counts[best];
+    }
+    std::vector<std::size_t> rep(k, SIZE_MAX);
+    std::vector<double> repD(k, std::numeric_limits<double>::max());
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = dist2(points[i], centroids[assign[i]]);
+        if (d < repD[assign[i]]) {
+            repD[assign[i]] = d;
+            rep[assign[i]] = i;
+        }
+    }
+
+    // Drop clusters that still came up empty (only possible when k was
+    // clamped against duplicate points), then sort by representative so
+    // the output order is stable and index-monotonic.
+    struct Row
+    {
+        std::size_t rep, size, cluster;
+    };
+    std::vector<Row> rows;
+    for (std::size_t c = 0; c < k; ++c)
+        if (rep[c] != SIZE_MAX && counts[c] > 0)
+            rows.push_back({rep[c], counts[c], c});
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.rep < b.rep; });
+
+    ClusterSelection sel;
+    std::vector<std::size_t> clusterToPos(k, 0);
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+        sel.representatives.push_back(rows[p].rep);
+        sel.clusterSizes.push_back(rows[p].size);
+        sel.weights.push_back(static_cast<double>(rows[p].size) /
+                              static_cast<double>(n));
+        clusterToPos[rows[p].cluster] = p;
+    }
+    sel.assignment.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        sel.assignment[i] = clusterToPos[assign[i]];
+    return sel;
+}
+
+} // namespace sl

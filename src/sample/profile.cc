@@ -1,0 +1,216 @@
+#include "sample/profile.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace sl
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: spreads synthetic PC/region ids across buckets
+ *  so clustered id assignment (generators hand them out sequentially)
+ *  does not alias whole loops into one histogram bin. */
+inline std::uint64_t
+mixBits(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Signed log2 bucket for a block-granularity stride: 0 for zero,
+ *  1..7 for +1, +2-3, +4-7, ... , 8..15 mirrored for negative. */
+inline std::size_t
+strideBucket(std::int64_t delta)
+{
+    if (delta == 0)
+        return 0;
+    const bool neg = delta < 0;
+    const std::uint64_t mag =
+        neg ? static_cast<std::uint64_t>(-delta)
+            : static_cast<std::uint64_t>(delta);
+    unsigned lg = 0;
+    while ((mag >> (lg + 1)) != 0 && lg < 5)
+        ++lg;
+    const std::size_t b = 1 + lg; // 1..6
+    return neg ? b + 7 : b;       // pos 1..7 (6 used), neg 8..14
+}
+
+/**
+ * A set-associative LRU tag array, the profiler's cheap stand-in for a
+ * cache level. Warmed across the whole trace (state carries over
+ * interval boundaries like the real hierarchy's does); per-interval
+ * miss fractions become the memory-boundness features.
+ */
+class TagModel
+{
+  public:
+    TagModel(std::size_t sets, std::size_t ways)
+        : sets_(sets), ways_(ways), tags_(sets * ways, kInvalid),
+          tick_(sets * ways, 0)
+    {
+    }
+
+    /** True on hit; installs with LRU replacement on miss. */
+    bool
+    access(Addr block)
+    {
+        const std::size_t base = (block % sets_) * ways_;
+        std::size_t victim = base;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            if (tags_[base + w] == block) {
+                tick_[base + w] = ++now_;
+                return true;
+            }
+            if (tick_[base + w] < tick_[victim])
+                victim = base + w;
+        }
+        tags_[victim] = block;
+        tick_[victim] = ++now_;
+        return false;
+    }
+
+  private:
+    static constexpr Addr kInvalid = ~Addr{0};
+    std::size_t sets_, ways_;
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> tick_;
+    std::uint64_t now_ = 0;
+};
+
+} // namespace
+
+TraceProfile
+profileTrace(const Trace& trace, std::size_t intervals)
+{
+    const std::size_t n = trace.records.size();
+    const std::size_t w0 = trace.warmupRecords;
+    SL_REQUIRE(intervals > 0, "sample_profile",
+               "need at least one interval");
+    SL_REQUIRE(w0 < n, "sample_profile",
+               "trace '" << trace.name << "' has no evaluation region ("
+                         << w0 << " warmup of " << n << " records)");
+    const std::size_t evalRecords = n - w0;
+    SL_REQUIRE(intervals <= evalRecords, "sample_profile",
+               "cannot cut " << evalRecords << " evaluation records into "
+                             << intervals << " intervals");
+
+    TraceProfile prof;
+    prof.warmupRecords = w0;
+    prof.intervals.reserve(intervals);
+
+    const std::size_t len = evalRecords / intervals;
+
+    // Accumulators for the interval being walked.
+    std::vector<std::uint64_t> pcHist(kProfilePcBuckets, 0);
+    std::vector<std::uint64_t> regionHist(kProfileRegionBuckets, 0);
+    std::vector<std::uint64_t> strideHist(kProfileStrideBuckets, 0);
+    std::uint64_t loads = 0, stores = 0, dependent = 0, bubbles = 0;
+    std::uint64_t records = 0;
+    Addr lastBlock = 0;
+    bool haveLast = false;
+
+    // Cache-proxy models (32KB / 256KB at 64B blocks). Walked from
+    // record 0 so they are warm when the evaluation region starts.
+    TagModel l1Model(64, 8);
+    TagModel l2Model(512, 8);
+    std::uint64_t l1Misses = 0, l2Misses = 0;
+
+    auto flush = [&](std::size_t first, std::size_t end,
+                     std::uint64_t startInstr, std::uint64_t instr) {
+        IntervalProfile iv;
+        iv.firstRecord = first;
+        iv.endRecord = end;
+        iv.instructions = instr;
+        iv.startInstructions = startInstr;
+        iv.features.reserve(kProfileDims);
+        const double r = records ? static_cast<double>(records) : 1.0;
+        for (const auto h : pcHist)
+            iv.features.push_back(static_cast<double>(h) / r);
+        for (const auto h : regionHist)
+            iv.features.push_back(static_cast<double>(h) / r);
+        for (const auto h : strideHist)
+            iv.features.push_back(static_cast<double>(h) / r);
+        iv.features.push_back(static_cast<double>(loads) / r);
+        iv.features.push_back(static_cast<double>(stores) / r);
+        iv.features.push_back(static_cast<double>(dependent) / r);
+        iv.features.push_back(static_cast<double>(bubbles) / (r * 255.0));
+        iv.features.push_back(kProfileMissWeight *
+                              static_cast<double>(l1Misses) / r);
+        iv.features.push_back(kProfileMissWeight *
+                              static_cast<double>(l2Misses) / r);
+        iv.features.push_back(
+            kProfilePositionWeight *
+            static_cast<double>(prof.intervals.size()) /
+            static_cast<double>(intervals));
+        prof.intervals.push_back(std::move(iv));
+
+        std::fill(pcHist.begin(), pcHist.end(), 0);
+        std::fill(regionHist.begin(), regionHist.end(), 0);
+        std::fill(strideHist.begin(), strideHist.end(), 0);
+        loads = stores = dependent = bubbles = records = 0;
+        l1Misses = l2Misses = 0;
+    };
+
+    std::uint64_t instrCursor = 0;     // instructions in [0, i)
+    std::uint64_t intervalStart = 0;   // instrCursor at interval start
+    std::size_t intervalFirst = w0;
+    std::size_t built = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord& rec = trace.records[i];
+        const std::uint64_t weight = 1ull + rec.bubbles;
+        const Addr recBlock = blockNumber(rec.addr);
+        const bool l1Hit = l1Model.access(recBlock);
+        const bool l2Hit = l1Hit || l2Model.access(recBlock);
+        if (i == w0)
+            prof.warmupInstructions = instrCursor;
+        if (i >= w0) {
+            if (records == 0 && i == intervalFirst)
+                intervalStart = instrCursor;
+            ++records;
+            pcHist[mixBits(rec.pc) % kProfilePcBuckets] += 1;
+            regionHist[mixBits(rec.addr >> 16) % kProfileRegionBuckets] +=
+                1;
+            if (haveLast)
+                strideHist[strideBucket(
+                    static_cast<std::int64_t>(recBlock) -
+                    static_cast<std::int64_t>(lastBlock))] += 1;
+            lastBlock = recBlock;
+            haveLast = true;
+            if (rec.type == AccessType::Load)
+                ++loads;
+            else
+                ++stores;
+            if (rec.dependsOnPrev())
+                ++dependent;
+            bubbles += rec.bubbles;
+            if (!l1Hit)
+                ++l1Misses;
+            if (!l2Hit)
+                ++l2Misses;
+        }
+        instrCursor += weight;
+        // Close the interval when it reaches len records — except the
+        // last one, which absorbs the remainder and closes at i == n-1.
+        if (i >= w0 && built + 1 < intervals &&
+            i + 1 == intervalFirst + len) {
+            flush(intervalFirst, i + 1, intervalStart,
+                  instrCursor - intervalStart);
+            intervalFirst = i + 1;
+            ++built;
+        }
+    }
+    flush(intervalFirst, n, intervalStart, instrCursor - intervalStart);
+    prof.totalInstructions = instrCursor;
+
+    SL_CHECK(prof.intervals.size() == intervals, "sample_profile",
+             "built " << prof.intervals.size() << " intervals, expected "
+                      << intervals);
+    return prof;
+}
+
+} // namespace sl

@@ -1,0 +1,42 @@
+#include "sample/reassemble.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace sl
+{
+
+WeightedStat
+weightedStat(const std::vector<double>& x, const std::vector<double>& w)
+{
+    SL_REQUIRE(!x.empty() && x.size() == w.size(), "sample_reassemble",
+               "weightedStat needs matched non-empty series, got "
+                   << x.size() << " values vs " << w.size()
+                   << " weights");
+    double sumW = 0, sumW2 = 0, sumWX = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        SL_REQUIRE(w[i] >= 0, "sample_reassemble",
+                   "negative weight " << w[i] << " at index " << i);
+        sumW += w[i];
+        sumW2 += w[i] * w[i];
+        sumWX += w[i] * x[i];
+    }
+    SL_REQUIRE(sumW > 0, "sample_reassemble", "weights sum to zero");
+
+    WeightedStat s;
+    s.mean = sumWX / sumW;
+    double var = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double d = x[i] - s.mean;
+        var += w[i] * d * d;
+    }
+    var /= sumW;
+    s.stddev = std::sqrt(var);
+    s.neff = (sumW * sumW) / sumW2;
+    if (s.neff > 1.0)
+        s.ci95 = 1.96 * s.stddev / std::sqrt(s.neff);
+    return s;
+}
+
+} // namespace sl

@@ -69,7 +69,7 @@ runOne(const ExperimentSpec& spec, const BatchOptions& opts,
     JobResult jr;
     const auto t0 = std::chrono::steady_clock::now();
 
-    RunHooks hooks;
+    RunHooks hooks = spec.hooks;
     if (opts.jobTimeoutSec > 0) {
         hooks.wallTimeoutSec = opts.jobTimeoutSec;
         hooks.timeoutSnapshotPath =
@@ -327,7 +327,17 @@ toJson(const ExperimentSpec& spec, const JobResult& jr)
                << jsonEscape(cr.workload) << "\""
                << ",\"ipc\":" << jsonNumber(cr.ipc)
                << ",\"coverage\":" << jsonNumber(cr.coverage())
-               << ",\"accuracy\":" << jsonNumber(cr.accuracy()) << "}";
+               << ",\"accuracy\":" << jsonNumber(cr.accuracy());
+            // Raw interval extents and fenced L2 counters, emitted only
+            // for stat-fenced (sampled-interval) jobs so every existing
+            // bench's JSON stays byte-identical.
+            if (spec.hooks.statFence)
+                os << ",\"eval_instructions\":" << cr.evalInstructions
+                   << ",\"eval_cycles\":" << cr.evalCycles
+                   << ",\"l2_demand_misses\":" << cr.l2DemandMisses
+                   << ",\"l2_pf_useful\":" << cr.l2PrefetchUseful
+                   << ",\"l2_pf_issued\":" << cr.l2PrefetchIssued;
+            os << "}";
         }
         os << "]"
            << ",\"metadata_traffic\":" << jr.result.metadataTraffic()

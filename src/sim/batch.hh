@@ -32,6 +32,15 @@ struct ExperimentSpec
     std::string label;                  //!< carried into tables/JSON
     RunConfig config;
     std::vector<std::string> workloads; //!< one per config.cores
+    /**
+     * Per-job orchestration (snapshot restore, measurement window, stat
+     * fence) — how the sampled runner drives each interval through the
+     * batch layer. NOT part of jobDigest(): hooks describe how a job
+     * runs, not what it is, and the sampled runner encodes the interval
+     * identity (record range) in the label instead. A BatchOptions
+     * jobTimeoutSec overrides the hook's wallTimeoutSec.
+     */
+    RunHooks hooks;
 };
 
 /** Outcome of one job. */

@@ -1,6 +1,7 @@
 #include "sim/runner.hh"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +14,7 @@
 
 #include "common/error.hh"
 #include "prefetch/registry.hh"
+#include "sample/sampled.hh"
 #include "sim/batch.hh"
 #include "sim/snapshot.hh"
 #include "trace/mix.hh"
@@ -93,6 +95,25 @@ dumpSystemStats(System& sys, std::ostream& os)
 }
 
 } // namespace
+
+SystemConfig
+systemConfigFor(const RunConfig& cfg)
+{
+    const PrefetcherTuning tuning = tuningFor(cfg);
+    PrefetcherRegistry& reg = prefetcherRegistry();
+    SystemConfig sc;
+    sc.cores = cfg.cores;
+    sc.dramMTs = cfg.dramMTs;
+    sc.l1dPrefetcher = reg.make(cfg.l1Name(), PrefetcherRegistry::L1,
+                                tuning);
+    sc.l2Prefetcher = reg.make(cfg.l2Name(), PrefetcherRegistry::L2,
+                               tuning);
+    sc.faults = cfg.faults;
+    sc.hardening = cfg.hardening;
+    sc.telemetry = cfg.telemetry;
+    sc.sched = cfg.fastWake ? SchedMode::FastWake : SchedMode::Default;
+    return sc;
+}
 
 void
 RunConfig::validate() const
@@ -200,22 +221,7 @@ runWorkloadsRaw(const RunConfig& cfg,
     for (const auto& w : workloads)
         traces.push_back(getTrace(w, cfg.traceScale, cfg.seed));
 
-    const PrefetcherTuning tuning = tuningFor(cfg);
-    PrefetcherRegistry& reg = prefetcherRegistry();
-
-    SystemConfig sc;
-    sc.cores = cfg.cores;
-    sc.dramMTs = cfg.dramMTs;
-    sc.l1dPrefetcher = reg.make(cfg.l1Name(), PrefetcherRegistry::L1,
-                                tuning);
-    sc.l2Prefetcher = reg.make(cfg.l2Name(), PrefetcherRegistry::L2,
-                               tuning);
-    sc.faults = cfg.faults;
-    sc.hardening = cfg.hardening;
-    sc.telemetry = cfg.telemetry;
-    sc.sched = cfg.fastWake ? SchedMode::FastWake : SchedMode::Default;
-
-    System sys(sc, traces);
+    System sys(systemConfigFor(cfg), traces);
 
     // Orchestration hooks (see RunHooks): all three share one config
     // digest, computed over what the run IS, not what the hooks do.
@@ -246,6 +252,28 @@ runWorkloadsRaw(const RunConfig& cfg,
         }
     }
 
+    // Sampled-interval orchestration: narrow the measurement window and
+    // fence the L2 counters at warmup end so the reported
+    // misses/useful/issued cover only the measured interval. Applied
+    // after any restore above — the targets are relative to the restored
+    // cursor, and they are deliberately absent from the snapshot itself.
+    std::vector<std::array<std::uint64_t, 3>> fence(cfg.cores);
+    if (hooks.measureWarmupRecords != 0 || hooks.measureEvalRecords != 0)
+        for (unsigned c = 0; c < cfg.cores; ++c)
+            sys.core(c).setMeasureWindow(hooks.measureWarmupRecords,
+                                         hooks.measureEvalRecords);
+    if (hooks.statFence) {
+        for (unsigned c = 0; c < cfg.cores; ++c) {
+            Cache& l2c = sys.l2(c);
+            auto* slot = &fence[c];
+            sys.core(c).setWarmupCallback([&l2c, slot](Cycle) {
+                (*slot)[0] = l2c.stats().get("demand_misses");
+                (*slot)[1] = l2c.stats().get("prefetch_useful");
+                (*slot)[2] = l2c.stats().get("prefetch_issued");
+            });
+        }
+    }
+
     sys.run();
 
     RunResult res;
@@ -253,10 +281,12 @@ runWorkloadsRaw(const RunConfig& cfg,
         CoreResult cr;
         cr.workload = workloads[c];
         cr.ipc = sys.core(c).ipc();
+        cr.evalInstructions = sys.core(c).evalInstructions();
+        cr.evalCycles = sys.core(c).evalCycles();
         const auto& l2 = sys.l2(c).stats();
-        cr.l2DemandMisses = l2.get("demand_misses");
-        cr.l2PrefetchUseful = l2.get("prefetch_useful");
-        cr.l2PrefetchIssued = l2.get("prefetch_issued");
+        cr.l2DemandMisses = l2.get("demand_misses") - fence[c][0];
+        cr.l2PrefetchUseful = l2.get("prefetch_useful") - fence[c][1];
+        cr.l2PrefetchIssued = l2.get("prefetch_issued") - fence[c][2];
         res.cores.push_back(cr);
 
         std::map<std::string, std::uint64_t> snap;
@@ -443,6 +473,26 @@ printUsage(std::ostream& os)
           "jobs snapshot then fail\n"
           "  --retries N             retry failed sweep jobs up to N "
           "times (implies --sweep)\n"
+          "sampled runs (DESIGN.md §15):\n"
+          "  --sample                profile, cluster, checkpoint, and "
+          "simulate K\n"
+          "                          representative intervals instead of "
+          "the full trace\n"
+          "  --sample-intervals N    profile granularity (default 96; "
+          "implies --sample)\n"
+          "  --sample-k K            detailed-interval budget, stratified "
+          "across clusters\n"
+          "                          (default 24; implies --sample)\n"
+          "  --sample-warmup R       detailed warmup records per interval "
+          "(default: a\n"
+          "                          quarter interval; implies --sample)\n"
+          "  --sample-dir PATH       checkpoint directory (default "
+          "$SL_SAMPLE_DIR or .)\n"
+          "  --sample-report         print the interval selection as "
+          "one-line JSON and exit\n"
+          "                          (no checkpoints, no detailed runs)\n"
+          "                          --manifest/--job-timeout apply to "
+          "the interval batch\n"
           "fault injection:\n"
           "  --fault-campaign        sweep the fault grid (bit flips, "
           "dropped fills, DRAM\n"
@@ -647,6 +697,9 @@ runnerMain(int argc, char** argv)
     BatchOptions batch_opts;
     bool sweep = false;
     bool fault_campaign = false;
+    bool sample = false;
+    bool sample_report = false;
+    SampleOptions sample_opts;
 
     // SL_FAST_WAKE=1 opts whole invocations into fast-wake scheduling
     // without touching their command lines (bench sweeps, CI stages);
@@ -765,6 +818,30 @@ runnerMain(int argc, char** argv)
             sweep = true;
             batch_opts.maxRetries =
                 static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--sample") {
+            sample = true;
+        } else if (arg == "--sample-report") {
+            sample_report = true;
+        } else if (arg == "--sample-intervals") {
+            if (!(v = value(i, "--sample-intervals")))
+                return 2;
+            sample = true;
+            sample_opts.intervals = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--sample-k") {
+            if (!(v = value(i, "--sample-k")))
+                return 2;
+            sample = true;
+            sample_opts.k = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--sample-warmup") {
+            if (!(v = value(i, "--sample-warmup")))
+                return 2;
+            sample = true;
+            sample_opts.warmupRecords = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--sample-dir") {
+            if (!(v = value(i, "--sample-dir")))
+                return 2;
+            sample = true;
+            sample_opts.checkpointDir = v;
         } else if (arg == "--fault-campaign") {
             fault_campaign = true;
         } else if (arg == "--fault-lose-request") {
@@ -823,6 +900,39 @@ runnerMain(int argc, char** argv)
     // a rejected snapshot -- exits nonzero with a one-line diagnostic;
     // SimErrors additionally leave a repro bundle behind.
     try {
+        if (sample || sample_report) {
+            // Sampled runs are per-workload and single-core; --manifest
+            // and --job-timeout feed the interval batch instead of
+            // implying a plain sweep.
+            RunConfig c = cfg;
+            c.cores = 1;
+            sample_opts.manifestPath = batch_opts.manifestPath;
+            sample_opts.jobTimeoutSec = batch_opts.jobTimeoutSec;
+            for (const auto& w : workloads) {
+                if (sample_report) {
+                    std::cout << sampleReportJson(c, w, sample_opts)
+                              << "\n";
+                    continue;
+                }
+                const SampledReport rep = runSampled(c, w, sample_opts);
+                const double frac =
+                    rep.totalEvalInstructions > 0
+                        ? static_cast<double>(rep.sampledInstructions) /
+                              static_cast<double>(
+                                  rep.totalEvalInstructions)
+                        : 0;
+                std::cout << "sampled " << w
+                          << ": ipc=" << rep.ipcEstimate << " +/-"
+                          << rep.ipcCi95 << " mpki=" << rep.mpki
+                          << " coverage=" << rep.coverage
+                          << " (k=" << rep.intervals.size()
+                          << ", n_eff=" << rep.neff << ", detailed "
+                          << 100.0 * frac << "% of eval)\n";
+                std::cout << "==JSON==\n"
+                          << rep.fullJson << "\n==END-JSON==\n";
+            }
+            return 0;
+        }
         if (fault_campaign)
             return runFaultCampaign(cfg, workloads);
         if (sweep)

@@ -115,6 +115,10 @@ struct CoreResult
 {
     std::string workload;
     double ipc = 0;
+    /** Raw measurement-window extent (instr / cycles); the sampled
+     *  reassembly weights per-interval IPCs by these. */
+    std::uint64_t evalInstructions = 0;
+    std::uint64_t evalCycles = 0;
     std::uint64_t l2DemandMisses = 0;
     std::uint64_t l2PrefetchUseful = 0;
     std::uint64_t l2PrefetchIssued = 0;
@@ -247,12 +251,34 @@ struct RunHooks
      *  run's state first so it can be resumed for postmortem. */
     double wallTimeoutSec = 0;
     std::string timeoutSnapshotPath;
+    /**
+     * Sampled-interval measurement window (DESIGN.md §15), in records
+     * retired per core; 0 = the trace's own defaults. Applied after any
+     * snapshot restore, so a checkpoint taken before the window serves
+     * any interval cut from it — which is exactly why these live in
+     * RunHooks and not RunConfig: they must not perturb the snapshot
+     * config digest.
+     */
+    std::uint64_t measureWarmupRecords = 0;
+    std::uint64_t measureEvalRecords = 0;
+    /** Fence L2 stats at warmup end: CoreResult misses/useful/issued
+     *  report measurement-window deltas instead of run totals, and the
+     *  batch JSON gains eval_instructions/eval_cycles/l2_* fields. */
+    bool statFence = false;
 };
 
 /** runWorkloadsRaw with snapshot/timeout orchestration attached. */
 RunResult runWorkloadsRaw(const RunConfig& cfg,
                           const std::vector<std::string>& workloads,
                           const RunHooks& hooks);
+
+/**
+ * The SystemConfig runWorkloadsRaw builds for @p cfg, exposed so other
+ * drivers (the sampled checkpoint generator) construct bit-identical
+ * Systems. @p cfg must outlive the System: the prefetcher factories
+ * capture PrefetcherTuning pointers into it.
+ */
+SystemConfig systemConfigFor(const RunConfig& cfg);
 
 /**
  * The config-identity string stored in snapshot files: toJson(cfg) plus
